@@ -1,0 +1,221 @@
+// Package carf is the public API of the content-aware register file
+// reproduction: it runs benchmark kernels on a cycle-level out-of-order
+// superscalar processor (Table 1 of the paper) with a selectable integer
+// register file organization, and regenerates the paper's evaluation.
+//
+// Quick start:
+//
+//	res, err := carf.Run("qsort", carf.Config{Organization: carf.ContentAware})
+//	fmt.Printf("IPC %.3f, register file energy %.0f\n", res.IPC, res.RegFileEnergy)
+//
+// The organizations are the paper's three comparands: the
+// unlimited-resource file (160×64b, 16R/8W), the baseline file (112×64b,
+// 8R/6W), and the content-aware organization that splits the file into
+// Simple/Short/Long sub-files around partial value locality. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package carf
+
+import (
+	"fmt"
+
+	"carf/internal/core"
+	"carf/internal/energy"
+	"carf/internal/experiments"
+	"carf/internal/pipeline"
+	"carf/internal/regfile"
+	"carf/internal/workload"
+)
+
+// Organization names an integer register file organization.
+type Organization string
+
+const (
+	// Unlimited is the unconstrained reference file (160 entries,
+	// 16R/8W ports): the paper's normalization anchor.
+	Unlimited Organization = "unlimited"
+	// Baseline is the realistic conventional file (112 entries, 8R/6W).
+	Baseline Organization = "baseline"
+	// ContentAware is the paper's contribution: Simple/Short/Long
+	// sub-files exploiting partial value locality.
+	ContentAware Organization = "content-aware"
+	// ContentAwareCAM is the fully-associative Short file variant
+	// (higher IPC, CAM energy cost; rejected in §4).
+	ContentAwareCAM Organization = "content-aware-cam"
+)
+
+// Organizations lists the selectable organizations.
+func Organizations() []Organization {
+	return []Organization{Unlimited, Baseline, ContentAware, ContentAwareCAM}
+}
+
+// Config selects the register file organization and its parameters.
+// The zero value runs the content-aware organization at the paper's
+// chosen configuration (112 simple, 8 short, 48 long, d+n = 20) on a
+// standard-size workload.
+type Config struct {
+	// Organization defaults to ContentAware.
+	Organization Organization
+
+	// Content-aware parameters (ignored by conventional organizations);
+	// zero values take the paper's defaults.
+	DPlusN    int // width of the Simple value field (default 20)
+	ShortRegs int // Short file entries, power of two (default 8)
+	LongRegs  int // Long file entries (default 48)
+
+	// Scale multiplies benchmark work (default 1.0: a few hundred
+	// thousand dynamic instructions).
+	Scale float64
+
+	// MaxInstructions bounds the simulation (0 = run to completion).
+	MaxInstructions uint64
+}
+
+func (c Config) params() core.Params {
+	p := core.DefaultParams()
+	if c.DPlusN > 0 {
+		p.DPlusN = c.DPlusN
+	}
+	if c.ShortRegs > 0 {
+		p.NumShort = c.ShortRegs
+	}
+	if c.LongRegs > 0 {
+		p.NumLong = c.LongRegs
+	}
+	p.CAMShort = c.Organization == ContentAwareCAM
+	return p
+}
+
+func (c Config) model() (regfile.Model, error) {
+	switch c.Organization {
+	case Baseline:
+		return regfile.Baseline(), nil
+	case Unlimited:
+		return regfile.Unlimited(), nil
+	case ContentAware, ContentAwareCAM, "":
+		p := c.params()
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return core.New(p), nil
+	default:
+		return nil, fmt.Errorf("carf: unknown organization %q", c.Organization)
+	}
+}
+
+// Result reports one simulation.
+type Result struct {
+	Kernel       string
+	Organization Organization
+
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	Branches    uint64
+	Mispredicts uint64
+
+	// Integer register file operand traffic.
+	IntOperands      uint64
+	BypassedOperands uint64
+	BypassRate       float64
+
+	// Register file physical characterization (normalized model units;
+	// meaningful relative to other Results on the same workload).
+	RegFileEnergy     float64
+	RegFileArea       float64
+	RegFileAccessTime float64
+
+	// Content-aware organizations only.
+	ReadsByType    [3]uint64 // simple, short, long
+	WritesByType   [3]uint64
+	AvgLiveLong    float64
+	RecoveryStalls uint64
+}
+
+// Kernels lists the benchmark kernel names (14 integer, 8 FP).
+func Kernels() []string { return workload.Names() }
+
+// Run simulates one kernel under cfg.
+func Run(kernel string, cfg Config) (Result, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	k, err := workload.ByName(kernel, cfg.Scale)
+	if err != nil {
+		return Result{}, err
+	}
+	model, err := cfg.model()
+	if err != nil {
+		return Result{}, err
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.MaxInstructions = cfg.MaxInstructions
+	cpu := pipeline.New(pcfg, k.Prog, model)
+	st, err := cpu.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if st.ValueMismatches != 0 {
+		return Result{}, fmt.Errorf("carf: %d register file reconstruction mismatches", st.ValueMismatches)
+	}
+	if cfg.MaxInstructions == 0 {
+		if got := cpu.Machine().X[workload.ResultReg]; got != k.Expected {
+			return Result{}, fmt.Errorf("carf: %s computed %#x, expected %#x", kernel, got, k.Expected)
+		}
+	}
+
+	org := cfg.Organization
+	if org == "" {
+		org = ContentAware
+	}
+	tech := energy.DefaultTech()
+	rep := tech.Organization(model.Files())
+	res := Result{
+		Kernel:            kernel,
+		Organization:      org,
+		Cycles:            st.Cycles,
+		Instructions:      st.Instructions,
+		IPC:               st.IPC(),
+		Branches:          st.Branches,
+		Mispredicts:       st.Mispredicts,
+		IntOperands:       st.IntOperands,
+		BypassedOperands:  st.BypassedOperands,
+		BypassRate:        st.BypassRate(),
+		RegFileEnergy:     rep.TotalEnergy,
+		RegFileArea:       rep.TotalArea,
+		RegFileAccessTime: rep.WorstTime,
+		RecoveryStalls:    st.RecoveryStallCycles,
+	}
+	if f, ok := model.(*core.File); ok {
+		cs := f.Stats()
+		res.ReadsByType = cs.ReadsByType
+		res.WritesByType = cs.WritesByType
+		res.AvgLiveLong = cs.AvgLiveLong()
+	}
+	return res, nil
+}
+
+// Experiments lists the reproducible paper exhibits (figures, tables,
+// sensitivity sweeps, extensions) in paper order.
+func Experiments() []string { return experiments.Names() }
+
+// DescribeExperiment returns a one-line description of an experiment id.
+func DescribeExperiment(name string) string { return experiments.Describe(name) }
+
+// ExperimentOptions tunes an experiment run.
+type ExperimentOptions struct {
+	// Scale multiplies benchmark work (default 0.25 — experiments run
+	// many simulations).
+	Scale float64
+}
+
+// RunExperiment regenerates one paper exhibit and returns its rendered
+// tables.
+func RunExperiment(name string, opt ExperimentOptions) (string, error) {
+	r, err := experiments.Run(name, experiments.Options{Scale: opt.Scale})
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

@@ -1,0 +1,101 @@
+package carf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernelsListed(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 22 {
+		t.Errorf("kernels = %d, want 22", len(ks))
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run("histo", Config{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Organization != ContentAware {
+		t.Errorf("default organization = %q", res.Organization)
+	}
+	if res.IPC <= 0 || res.Instructions == 0 || res.Cycles == 0 {
+		t.Errorf("empty result: %+v", res)
+	}
+	if res.ReadsByType == [3]uint64{} {
+		t.Error("content-aware run reported no typed reads")
+	}
+}
+
+func TestRunAllOrganizations(t *testing.T) {
+	var energies = map[Organization]float64{}
+	for _, org := range Organizations() {
+		res, err := Run("strsearch", Config{Organization: org, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("%s: %v", org, err)
+		}
+		if res.Organization != org {
+			t.Errorf("organization echoed as %q", res.Organization)
+		}
+		energies[org] = res.RegFileEnergy
+	}
+	if !(energies[ContentAware] < energies[Baseline] && energies[Baseline] < energies[Unlimited]) {
+		t.Errorf("energy ordering violated: %v", energies)
+	}
+}
+
+func TestRunValidatesInput(t *testing.T) {
+	if _, err := Run("nosuch", Config{}); err == nil {
+		t.Error("unknown kernel should error")
+	}
+	if _, err := Run("qsort", Config{Organization: "bogus"}); err == nil {
+		t.Error("unknown organization should error")
+	}
+	if _, err := Run("qsort", Config{DPlusN: 2, Scale: 0.05}); err == nil {
+		t.Error("invalid content-aware parameters should error")
+	}
+}
+
+func TestMaxInstructionsBound(t *testing.T) {
+	res, err := Run("crc64", Config{Organization: Baseline, MaxInstructions: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 2000 || res.Instructions > 2100 {
+		t.Errorf("instructions = %d, want ~2000", res.Instructions)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(Experiments()) != 17 {
+		t.Errorf("experiments = %d", len(Experiments()))
+	}
+	if DescribeExperiment("fig5") == "" {
+		t.Error("fig5 has no description")
+	}
+	out, err := RunExperiment("fig8", ExperimentOptions{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 8") {
+		t.Errorf("unexpected experiment output: %q", out)
+	}
+	if _, err := RunExperiment("nosuch", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestCustomCARFParameters(t *testing.T) {
+	res, err := Run("hashprobe", Config{
+		Organization: ContentAware,
+		DPlusN:       24, ShortRegs: 16, LongRegs: 64,
+		Scale: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Error("custom parameters produced no result")
+	}
+}

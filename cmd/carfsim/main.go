@@ -1,0 +1,84 @@
+// Command carfsim runs one benchmark kernel on the simulated processor
+// with a chosen integer register file organization and prints the
+// measurements.
+//
+// Usage:
+//
+//	carfsim -kernel qsort -org content-aware -dplusn 20 -short 8 -long 48
+//	carfsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carf"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "qsort", "benchmark kernel (see -list)")
+		org    = flag.String("org", string(carf.ContentAware), "register file organization: unlimited, baseline, content-aware, content-aware-cam")
+		dplusn = flag.Int("dplusn", 0, "content-aware d+n (default 20)")
+		short  = flag.Int("short", 0, "content-aware short registers (default 8)")
+		long   = flag.Int("long", 0, "content-aware long registers (default 48)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		maxi   = flag.Uint64("max-instructions", 0, "stop after N instructions (0 = run to completion)")
+		list   = flag.Bool("list", false, "list kernels and organizations, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("kernels:")
+		for _, k := range carf.Kernels() {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("organizations:")
+		for _, o := range carf.Organizations() {
+			fmt.Printf("  %s\n", o)
+		}
+		return
+	}
+
+	res, err := carf.Run(*kernel, carf.Config{
+		Organization:    carf.Organization(*org),
+		DPlusN:          *dplusn,
+		ShortRegs:       *short,
+		LongRegs:        *long,
+		Scale:           *scale,
+		MaxInstructions: *maxi,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carfsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("kernel            %s\n", res.Kernel)
+	fmt.Printf("organization      %s\n", res.Organization)
+	fmt.Printf("instructions      %d\n", res.Instructions)
+	fmt.Printf("cycles            %d\n", res.Cycles)
+	fmt.Printf("IPC               %.3f\n", res.IPC)
+	fmt.Printf("branches          %d (%.2f%% mispredicted)\n",
+		res.Branches, 100*float64(res.Mispredicts)/float64(max(res.Branches, 1)))
+	fmt.Printf("int operands      %d (%.1f%% bypassed)\n", res.IntOperands, 100*res.BypassRate)
+	fmt.Printf("RF energy         %.3e (model units)\n", res.RegFileEnergy)
+	fmt.Printf("RF area           %.3e (model units)\n", res.RegFileArea)
+	fmt.Printf("RF access time    %.1f (model units)\n", res.RegFileAccessTime)
+	if res.Organization == carf.ContentAware || res.Organization == carf.ContentAwareCAM {
+		total := func(a [3]uint64) uint64 { return a[0] + a[1] + a[2] }
+		fmt.Printf("reads by type     simple=%d short=%d long=%d (total %d)\n",
+			res.ReadsByType[0], res.ReadsByType[1], res.ReadsByType[2], total(res.ReadsByType))
+		fmt.Printf("writes by type    simple=%d short=%d long=%d (total %d)\n",
+			res.WritesByType[0], res.WritesByType[1], res.WritesByType[2], total(res.WritesByType))
+		fmt.Printf("avg live long     %.2f\n", res.AvgLiveLong)
+		fmt.Printf("recovery stalls   %d\n", res.RecoveryStalls)
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+// Command carfstudy regenerates the paper's evaluation: every figure and
+// table, the sensitivity sweeps, and the extension studies. Output goes
+// to stdout or, with -out, to a file (EXPERIMENTS.md quotes such a run).
+//
+// Usage:
+//
+//	carfstudy                      # everything, standard experiment scale
+//	carfstudy -exp fig5,table2     # selected experiments
+//	carfstudy -scale 1.0           # full-size workloads (slower)
+//	carfstudy -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"carf"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
+		scale = flag.Float64("scale", 0.25, "workload scale factor")
+		out   = flag.String("out", "", "write results to this file instead of stdout")
+		list  = flag.Bool("list", false, "list experiments, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range carf.Experiments() {
+			fmt.Printf("%-8s %s\n", name, carf.DescribeExperiment(name))
+		}
+		return
+	}
+
+	names := carf.Experiments()
+	if *exps != "all" {
+		names = strings.Split(*exps, ",")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carfstudy:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintf(w, "carfstudy: content-aware register file evaluation (scale %.2f)\n\n", *scale)
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		text, err := carf.RunExperiment(name, carf.ExperimentOptions{Scale: *scale})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carfstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "== %s: %s (%.1fs)\n\n%s\n", name, carf.DescribeExperiment(name),
+			time.Since(start).Seconds(), text)
+	}
+}

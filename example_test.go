@@ -1,0 +1,70 @@
+package carf_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"carf"
+)
+
+// Running one benchmark on the content-aware organization and comparing
+// against the baseline is the library's core loop.
+func Example() {
+	carfRes, err := carf.Run("histo", carf.Config{
+		Organization: carf.ContentAware,
+		Scale:        0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := carf.Run("histo", carf.Config{
+		Organization: carf.Baseline,
+		Scale:        0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy saved: %v\n", carfRes.RegFileEnergy < baseRes.RegFileEnergy)
+	fmt.Printf("IPC within 10%%: %v\n", carfRes.IPC > 0.9*baseRes.IPC)
+	// Output:
+	// energy saved: true
+	// IPC within 10%: true
+}
+
+// Custom content-aware parameters explore the design space of §4.
+func ExampleRun() {
+	res, err := carf.Run("hashprobe", carf.Config{
+		Organization: carf.ContentAware,
+		DPlusN:       24,
+		ShortRegs:    16,
+		LongRegs:     64,
+		Scale:        0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := res.WritesByType[0] + res.WritesByType[1] + res.WritesByType[2]
+	fmt.Printf("classified writes: %v\n", total > 0)
+	// Output:
+	// classified writes: true
+}
+
+// Experiments regenerate the paper's exhibits as rendered tables.
+func ExampleRunExperiment() {
+	out, err := carf.RunExperiment("table3", carf.ExperimentOptions{Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Contains(out, "baseline"))
+	// Output:
+	// true
+}
+
+// Kernels enumerates the benchmark suite.
+func ExampleKernels() {
+	ks := carf.Kernels()
+	fmt.Println(len(ks) >= 20, ks[0])
+	// Output:
+	// true qsort
+}

@@ -1,0 +1,22 @@
+; fib.s — iterative Fibonacci in R64 assembly, with a memoization table.
+; Run:  go run ./cmd/carfasm -pipeline -org content-aware -dump x28 examples/asmprog/fib.s
+        li   x1, 40          ; n
+        la   x2, memo        ; table base
+        li   x3, 0           ; f(0)
+        li   x4, 1           ; f(1)
+        st   x3, 0(x2)
+        st   x4, 8(x2)
+        li   x5, 2           ; i
+loop:   blt  x1, x5, done    ; while i <= n
+        add  x6, x3, x4      ; f(i)
+        slli x7, x5, 3
+        add  x7, x2, x7
+        st   x6, 0(x7)       ; memo[i] = f(i)
+        mv   x3, x4
+        mv   x4, x6
+        addi x5, x5, 1
+        j    loop
+done:   mv   x28, x4         ; f(n)
+        halt
+.data 0x554210000000
+memo:   .zero 512

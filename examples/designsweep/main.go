@@ -1,0 +1,61 @@
+// Design-space exploration: sweep the d+n knob of the content-aware
+// organization across the integer suite and report the IPC / energy /
+// area / access-time trade-off, identifying the best energy-delay
+// product — the analysis behind the paper's choice of d+n = 20.
+//
+//	go run ./examples/designsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carf"
+)
+
+func main() {
+	kernels := []string{"qsort", "hashprobe", "treeinsert", "histo"}
+	const scale = 0.5
+
+	// Baseline reference on the same workloads.
+	var baseIPC, baseEnergy float64
+	for _, k := range kernels {
+		res, err := carf.Run(k, carf.Config{Organization: carf.Baseline, Scale: scale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseIPC += res.IPC
+		baseEnergy += res.RegFileEnergy
+	}
+
+	fmt.Printf("d+n sweep over %v (scale %.2f)\n\n", kernels, scale)
+	fmt.Printf("%5s %10s %12s %14s %12s\n", "d+n", "rel IPC", "rel energy", "energy-delay", "avg live long")
+
+	bestDN, bestED := 0, 0.0
+	for _, dn := range []int{8, 12, 16, 20, 24, 28, 32} {
+		var ipc, energy, live float64
+		for _, k := range kernels {
+			res, err := carf.Run(k, carf.Config{
+				Organization: carf.ContentAware,
+				DPlusN:       dn,
+				Scale:        scale,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ipc += res.IPC
+			energy += res.RegFileEnergy
+			live += res.AvgLiveLong
+		}
+		relIPC := ipc / baseIPC
+		relEnergy := energy / baseEnergy
+		// Lower energy × longer runtime: minimize energy/IPC ratio.
+		ed := relEnergy / relIPC
+		if bestDN == 0 || ed < bestED {
+			bestDN, bestED = dn, ed
+		}
+		fmt.Printf("%5d %9.1f%% %11.1f%% %14.3f %12.2f\n",
+			dn, 100*relIPC, 100*relEnergy, ed, live/float64(len(kernels)))
+	}
+	fmt.Printf("\nbest energy-delay at d+n = %d (paper selects 20: past it, energy grows for no IPC)\n", bestDN)
+}

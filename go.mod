@@ -1,0 +1,3 @@
+module carf
+
+go 1.22

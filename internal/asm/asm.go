@@ -1,0 +1,346 @@
+// Package asm implements a two-pass text assembler for the R64
+// instruction set, so workloads can be written as assembly files instead
+// of Go builder calls. The syntax follows familiar RISC conventions:
+//
+//	; crc.s — comments start with ';', '#', or '//'
+//	.org 0x400000          ; code base (optional; default 0x400000)
+//	        la   x1, table ; pseudo: limm of a label address
+//	        li   x2, 256
+//	loop:   ld   x3, 0(x1)
+//	        add  x4, x4, x3
+//	        addi x1, x1, 8
+//	        addi x2, x2, -1
+//	        bnez x2, loop
+//	        mv   x28, x4
+//	        halt
+//	.data 0x600000
+//	table:  .word 1, 2, 3, 0xdeadbeef
+//	        .byte 65, 66
+//	        .ascii "hi"
+//	        .double 3.5, -0.25
+//	        .zero 64
+//	.reg sp 0x7ffff7e00000  ; seed a register before execution
+//
+// Registers are x0..x31 and f0..f31, with the aliases zero (x0),
+// sp (x29), gp (x30), and ra (x31). Loads and stores use off(base)
+// addressing. Branch and jump targets are labels or numeric offsets
+// relative to the next instruction. Pseudo-instructions: li, la, mv,
+// j, call, ret, jr, beqz, bnez.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"carf/internal/isa"
+	"carf/internal/vm"
+)
+
+// DefaultCodeBase is where code is placed unless .org overrides it.
+const DefaultCodeBase = 0x40_0000
+
+type srcErr struct {
+	line int
+	msg  string
+}
+
+func (e srcErr) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func errf(line int, format string, args ...any) error {
+	return srcErr{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// item is one parsed instruction statement awaiting symbol resolution.
+type item struct {
+	line   int
+	op     isa.Op
+	rd     isa.Reg
+	rs1    isa.Reg
+	rs2    isa.Reg
+	imm    int64
+	immSym string // unresolved label (branch target or address literal)
+	absSym bool   // immSym resolves to an absolute address (la/li)
+}
+
+// symbol is a bound label: data symbols hold absolute addresses, code
+// symbols hold offsets from the (late-bound) code base.
+type symbol struct {
+	value uint64
+	code  bool
+}
+
+// Assembler holds the two-pass state. Zero value is not usable; call
+// Assemble.
+type assembler struct {
+	name     string
+	codeBase uint64
+	insts    []item
+	dataAddr uint64
+	inData   bool
+	segments []vm.Segment
+	curSeg   *vm.Segment
+	symbols  map[string]symbol
+	initRegs map[isa.Reg]uint64
+	codeOff  uint64 // running code offset (first pass)
+}
+
+// Assemble translates R64 assembly source into an executable program.
+func Assemble(name, src string) (*vm.Program, error) {
+	a := &assembler{
+		name:     name,
+		codeBase: DefaultCodeBase,
+		symbols:  make(map[string]symbol),
+		initRegs: make(map[isa.Reg]uint64),
+	}
+	if err := a.firstPass(src); err != nil {
+		return nil, fmt.Errorf("asm %s: %w", name, err)
+	}
+	code, err := a.secondPass()
+	if err != nil {
+		return nil, fmt.Errorf("asm %s: %w", name, err)
+	}
+	prog := vm.NewProgram(name, a.codeBase, code, a.segments, a.initRegs)
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm %s: %w", name, err)
+	}
+	return prog, nil
+}
+
+// stripComment removes ';', '#', and '//' comments (not inside quotes).
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '"' {
+			inStr = !inStr
+			continue
+		}
+		if inStr {
+			continue
+		}
+		if c == ';' || c == '#' || (c == '/' && i+1 < len(line) && line[i+1] == '/') {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func (a *assembler) firstPass(src string) error {
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		// Peel leading labels ("name:").
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 || strings.ContainsAny(line[:colon], " \t\",()") {
+				break
+			}
+			label := line[:colon]
+			if !validIdent(label) {
+				return errf(lineNo+1, "invalid label %q", label)
+			}
+			if _, dup := a.symbols[label]; dup {
+				return errf(lineNo+1, "duplicate label %q", label)
+			}
+			if a.inData {
+				a.symbols[label] = symbol{value: a.dataAddr}
+			} else {
+				// Code symbols hold offsets; the base binds in the
+				// second pass (so .org may appear after labels).
+				a.symbols[label] = symbol{value: a.codeOff, code: true}
+			}
+			line = strings.TrimSpace(line[colon+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.statement(lineNo+1, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) statement(line int, text string) error {
+	mnemonic, rest, _ := strings.Cut(text, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(mnemonic, ".") {
+		return a.directive(line, mnemonic, rest)
+	}
+	if a.inData {
+		return errf(line, "instruction %q inside a data section", mnemonic)
+	}
+	it, err := parseInst(line, mnemonic, rest)
+	if err != nil {
+		return err
+	}
+	a.insts = append(a.insts, it)
+	a.codeOff += uint64(isa.OpSize(it.op))
+	return nil
+}
+
+func (a *assembler) directive(line int, name, rest string) error {
+	switch name {
+	case ".text":
+		a.inData = false
+		a.curSeg = nil
+		return nil
+	case ".org":
+		if len(a.insts) > 0 {
+			return errf(line, ".org must precede all instructions")
+		}
+		v, err := parseInt(rest)
+		if err != nil {
+			return errf(line, ".org: %v", err)
+		}
+		a.codeBase = uint64(v)
+		return nil
+	case ".data":
+		v, err := parseInt(rest)
+		if err != nil {
+			return errf(line, ".data needs an address: %v", err)
+		}
+		a.inData = true
+		a.dataAddr = uint64(v)
+		a.segments = append(a.segments, vm.Segment{Addr: a.dataAddr})
+		a.curSeg = &a.segments[len(a.segments)-1]
+		return nil
+	case ".reg":
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return errf(line, ".reg needs: .reg <register> <value>")
+		}
+		r, fp, err := parseReg(parts[0])
+		if err != nil || fp {
+			return errf(line, ".reg: bad integer register %q", parts[0])
+		}
+		v, err := parseInt(parts[1])
+		if err != nil {
+			return errf(line, ".reg: %v", err)
+		}
+		a.initRegs[r] = uint64(v)
+		return nil
+	case ".word", ".byte", ".double", ".ascii", ".zero":
+		if !a.inData || a.curSeg == nil {
+			return errf(line, "%s outside a .data section", name)
+		}
+		blob, err := parseData(line, name, rest)
+		if err != nil {
+			return err
+		}
+		a.curSeg.Bytes = append(a.curSeg.Bytes, blob...)
+		a.dataAddr += uint64(len(blob))
+		return nil
+	default:
+		return errf(line, "unknown directive %q", name)
+	}
+}
+
+func parseData(line int, name, rest string) ([]byte, error) {
+	switch name {
+	case ".ascii":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, errf(line, ".ascii needs a quoted string: %v", err)
+		}
+		return []byte(s), nil
+	case ".zero":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			return nil, errf(line, ".zero needs a byte count")
+		}
+		return make([]byte, n), nil
+	}
+	var out []byte
+	for _, field := range splitOperands(rest) {
+		switch name {
+		case ".word":
+			v, err := parseInt(field)
+			if err != nil {
+				return nil, errf(line, ".word %q: %v", field, err)
+			}
+			for i := 0; i < 8; i++ {
+				out = append(out, byte(uint64(v)>>(8*i)))
+			}
+		case ".byte":
+			v, err := parseInt(field)
+			if err != nil || v < -128 || v > 255 {
+				return nil, errf(line, ".byte %q out of range", field)
+			}
+			out = append(out, byte(v))
+		case ".double":
+			f, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, errf(line, ".double %q: %v", field, err)
+			}
+			bits := math.Float64bits(f)
+			for i := 0; i < 8; i++ {
+				out = append(out, byte(bits>>(8*i)))
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, errf(line, "%s needs at least one value", name)
+	}
+	return out, nil
+}
+
+func (a *assembler) secondPass() ([]isa.Inst, error) {
+	code := make([]isa.Inst, len(a.insts))
+	var off uint64
+	for i, it := range a.insts {
+		inst := isa.Inst{Op: it.op, Rd: it.rd, Rs1: it.rs1, Rs2: it.rs2, Imm: it.imm}
+		if it.immSym != "" {
+			sym, ok := a.symbols[it.immSym]
+			if !ok {
+				return nil, errf(it.line, "undefined symbol %q", it.immSym)
+			}
+			addr := sym.value
+			if sym.code {
+				addr += a.codeBase
+			}
+			if it.absSym {
+				inst.Imm = int64(addr)
+			} else {
+				if !sym.code {
+					return nil, errf(it.line, "branch target %q is a data symbol", it.immSym)
+				}
+				next := a.codeBase + off + uint64(isa.OpSize(it.op))
+				inst.Imm = int64(addr) - int64(next)
+			}
+		}
+		// Validate encodability early for a good error message.
+		if _, err := isa.Encode(nil, inst); err != nil {
+			return nil, errf(it.line, "%v", err)
+		}
+		code[i] = inst
+		off += uint64(inst.Size())
+	}
+	return code, nil
+}

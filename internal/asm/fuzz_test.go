@@ -1,0 +1,29 @@
+package asm
+
+import (
+	"testing"
+
+	"carf/internal/isa"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must either
+// produce a valid program or return an error — never panic — and any
+// program it accepts must re-encode cleanly.
+func FuzzAssemble(f *testing.F) {
+	f.Add("\tli x1, 5\n\thalt\n")
+	f.Add("loop: addi x1, x1, -1\n\tbnez x1, loop\n\thalt")
+	f.Add(".data 0x600000\nbuf: .word 1, 2\n.text\n\tla x1, buf\n\thalt")
+	f.Add(".org 0x500000\n\tld x2, 8(x1)\n\tst x2, -8(sp)\n\thalt")
+	f.Add("\t.reg sp 0x7000\n\tfadd f1, f2, f3\n\thalt")
+	f.Add("a:\nb: j a\n; comment\n# another\n// third")
+	f.Add(".data 0x10\n.ascii \"hi\\n\"\n.byte 255\n.double -1.5\n.zero 3")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if _, err := isa.EncodeProgram(prog.Code); err != nil {
+			t.Fatalf("accepted program fails to encode: %v", err)
+		}
+	})
+}

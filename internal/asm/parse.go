@@ -1,0 +1,374 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"carf/internal/isa"
+)
+
+// opByName maps mnemonics to opcodes, built from the ISA's own table.
+var opByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(0); op < isa.Op(isa.NumOps); op++ {
+		m[op.Name()] = op
+	}
+	return m
+}()
+
+// Register aliases accepted alongside x0..x31 / f0..f31.
+var regAliases = map[string]isa.Reg{
+	"zero": 0,
+	"sp":   29,
+	"gp":   30,
+	"ra":   31,
+}
+
+// parseReg parses a register operand; fp reports the register file.
+func parseReg(tok string) (r isa.Reg, fp bool, err error) {
+	tok = strings.ToLower(strings.TrimSpace(tok))
+	if alias, ok := regAliases[tok]; ok {
+		return alias, false, nil
+	}
+	if len(tok) < 2 || (tok[0] != 'x' && tok[0] != 'f') {
+		return 0, false, fmt.Errorf("bad register %q", tok)
+	}
+	n, convErr := strconv.Atoi(tok[1:])
+	if convErr != nil || n < 0 || n >= isa.NumRegs {
+		return 0, false, fmt.Errorf("bad register %q", tok)
+	}
+	return isa.Reg(n), tok[0] == 'f', nil
+}
+
+// needReg parses a register and checks it belongs to the required file.
+func needReg(line int, tok string, class isa.RegClass) (isa.Reg, error) {
+	r, fp, err := parseReg(tok)
+	if err != nil {
+		return 0, errf(line, "%v", err)
+	}
+	if fp != (class == isa.RegFP) {
+		want := "integer"
+		if class == isa.RegFP {
+			want = "floating-point"
+		}
+		return 0, errf(line, "register %q is not a %s register", tok, want)
+	}
+	return r, nil
+}
+
+// parseInt parses decimal or 0x hex integers, allowing '_' separators
+// and a leading '-'.
+func parseInt(tok string) (int64, error) {
+	tok = strings.ReplaceAll(strings.TrimSpace(tok), "_", "")
+	if tok == "" {
+		return 0, fmt.Errorf("empty integer")
+	}
+	neg := false
+	if tok[0] == '-' {
+		neg = true
+		tok = tok[1:]
+	} else if tok[0] == '+' {
+		tok = tok[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(strings.ToLower(tok), "0x") {
+		v, err = strconv.ParseUint(tok[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(tok, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", tok)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// splitOperands splits a comma-separated operand list, trimming spaces.
+func splitOperands(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseMem parses "off(base)" or "(base)" addressing.
+func parseMem(line int, tok string) (base isa.Reg, off int64, err error) {
+	open := strings.Index(tok, "(")
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return 0, 0, errf(line, "bad memory operand %q (want off(base))", tok)
+	}
+	if offTok := strings.TrimSpace(tok[:open]); offTok != "" {
+		off, err = parseInt(offTok)
+		if err != nil {
+			return 0, 0, errf(line, "bad displacement in %q", tok)
+		}
+	}
+	base, err = needReg(line, tok[open+1:len(tok)-1], isa.RegInt)
+	return base, off, err
+}
+
+// target interprets a control-flow target operand: a numeric offset
+// (relative to the next instruction) or a label.
+func target(it *item, tok string) {
+	if v, err := parseInt(tok); err == nil {
+		it.imm = v
+		return
+	}
+	it.immSym = tok
+}
+
+// wantOps checks the operand count.
+func wantOps(line int, mnemonic string, ops []string, n int) error {
+	if len(ops) != n {
+		return errf(line, "%s takes %d operand(s), got %d", mnemonic, n, len(ops))
+	}
+	return nil
+}
+
+// parseInst translates one instruction statement (including pseudo
+// instructions) into an item.
+func parseInst(line int, mnemonic, rest string) (item, error) {
+	ops := splitOperands(rest)
+	it := item{line: line}
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "li", "la":
+		if err := wantOps(line, mnemonic, ops, 2); err != nil {
+			return it, err
+		}
+		rd, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.op, it.rd = isa.LIMM, rd
+		if v, err := parseInt(ops[1]); err == nil {
+			it.imm = v
+		} else {
+			it.immSym, it.absSym = ops[1], true
+		}
+		return it, nil
+	case "mv":
+		if err := wantOps(line, mnemonic, ops, 2); err != nil {
+			return it, err
+		}
+		rd, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		rs, err := needReg(line, ops[1], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.op, it.rd, it.rs1 = isa.ADDI, rd, rs
+		return it, nil
+	case "j", "call":
+		if err := wantOps(line, mnemonic, ops, 1); err != nil {
+			return it, err
+		}
+		it.op = isa.JAL
+		if mnemonic == "call" {
+			it.rd = 31
+		}
+		target(&it, ops[0])
+		return it, nil
+	case "ret":
+		if err := wantOps(line, mnemonic, ops, 0); err != nil {
+			return it, err
+		}
+		it.op, it.rs1 = isa.JALR, 31
+		return it, nil
+	case "jr":
+		if err := wantOps(line, mnemonic, ops, 1); err != nil {
+			return it, err
+		}
+		rs, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.op, it.rs1 = isa.JALR, rs
+		return it, nil
+	case "beqz", "bnez":
+		if err := wantOps(line, mnemonic, ops, 2); err != nil {
+			return it, err
+		}
+		rs, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.op, it.rs1 = isa.BEQ, rs
+		if mnemonic == "bnez" {
+			it.op = isa.BNE
+		}
+		target(&it, ops[1])
+		return it, nil
+	}
+
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return it, errf(line, "unknown instruction %q", mnemonic)
+	}
+	it.op = op
+
+	switch {
+	case op == isa.NOP || op == isa.HALT:
+		return it, wantOps(line, mnemonic, ops, 0)
+
+	case op == isa.LIMM:
+		if err := wantOps(line, mnemonic, ops, 2); err != nil {
+			return it, err
+		}
+		rd, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.rd = rd
+		if v, err := parseInt(ops[1]); err == nil {
+			it.imm = v
+		} else {
+			it.immSym, it.absSym = ops[1], true
+		}
+		return it, nil
+
+	case op.IsLoad():
+		if err := wantOps(line, mnemonic, ops, 2); err != nil {
+			return it, err
+		}
+		rd, err := needReg(line, ops[0], op.RdClass())
+		if err != nil {
+			return it, err
+		}
+		base, off, err := parseMem(line, ops[1])
+		if err != nil {
+			return it, err
+		}
+		it.rd, it.rs1, it.imm = rd, base, off
+		return it, nil
+
+	case op.IsStore():
+		if err := wantOps(line, mnemonic, ops, 2); err != nil {
+			return it, err
+		}
+		data, err := needReg(line, ops[0], op.Rs2Class())
+		if err != nil {
+			return it, err
+		}
+		base, off, err := parseMem(line, ops[1])
+		if err != nil {
+			return it, err
+		}
+		it.rs2, it.rs1, it.imm = data, base, off
+		return it, nil
+
+	case op.IsBranch():
+		if err := wantOps(line, mnemonic, ops, 3); err != nil {
+			return it, err
+		}
+		rs1, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		rs2, err := needReg(line, ops[1], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.rs1, it.rs2 = rs1, rs2
+		target(&it, ops[2])
+		return it, nil
+
+	case op == isa.JAL:
+		if err := wantOps(line, mnemonic, ops, 2); err != nil {
+			return it, err
+		}
+		rd, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.rd = rd
+		target(&it, ops[1])
+		return it, nil
+
+	case op == isa.JALR:
+		if len(ops) != 2 && len(ops) != 3 {
+			return it, errf(line, "jalr takes rd, rs1[, imm]")
+		}
+		rd, err := needReg(line, ops[0], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		rs1, err := needReg(line, ops[1], isa.RegInt)
+		if err != nil {
+			return it, err
+		}
+		it.rd, it.rs1 = rd, rs1
+		if len(ops) == 3 {
+			v, err := parseInt(ops[2])
+			if err != nil {
+				return it, errf(line, "jalr immediate: %v", err)
+			}
+			it.imm = v
+		}
+		return it, nil
+
+	case op.HasImm(): // register-immediate ALU
+		if err := wantOps(line, mnemonic, ops, 3); err != nil {
+			return it, err
+		}
+		rd, err := needReg(line, ops[0], op.RdClass())
+		if err != nil {
+			return it, err
+		}
+		rs1, err := needReg(line, ops[1], op.Rs1Class())
+		if err != nil {
+			return it, err
+		}
+		v, err := parseInt(ops[2])
+		if err != nil {
+			return it, errf(line, "%s immediate: %v", mnemonic, err)
+		}
+		it.rd, it.rs1, it.imm = rd, rs1, v
+		return it, nil
+
+	default: // register-form ALU / FP
+		n := 1 // rd
+		if op.Rs1Class() != isa.RegNone {
+			n++
+		}
+		if op.Rs2Class() != isa.RegNone {
+			n++
+		}
+		if err := wantOps(line, mnemonic, ops, n); err != nil {
+			return it, err
+		}
+		rd, err := needReg(line, ops[0], op.RdClass())
+		if err != nil {
+			return it, err
+		}
+		it.rd = rd
+		idx := 1
+		if op.Rs1Class() != isa.RegNone {
+			rs1, err := needReg(line, ops[idx], op.Rs1Class())
+			if err != nil {
+				return it, err
+			}
+			it.rs1 = rs1
+			idx++
+		}
+		if op.Rs2Class() != isa.RegNone {
+			rs2, err := needReg(line, ops[idx], op.Rs2Class())
+			if err != nil {
+				return it, err
+			}
+			it.rs2 = rs2
+		}
+		return it, nil
+	}
+}

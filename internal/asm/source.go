@@ -1,0 +1,34 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"carf/internal/isa"
+	"carf/internal/vm"
+)
+
+// Source renders an instruction sequence as reassemblable assembly text:
+// one instruction per line, with control-flow targets as numeric offsets
+// (labels are not reconstructed). Assembling the output at the same code
+// base reproduces the identical encoding — the round-trip property the
+// tests rely on.
+func Source(code []isa.Inst) string {
+	var b strings.Builder
+	for _, inst := range code {
+		fmt.Fprintf(&b, "\t%s\n", inst.String())
+	}
+	return b.String()
+}
+
+// Listing renders a program with addresses, for humans:
+//
+//	0x400000:  limm x1, 0x5542000000
+//	0x400010:  ld x2, 0(x1)
+func Listing(prog *vm.Program) string {
+	var b strings.Builder
+	for i, inst := range prog.Code {
+		fmt.Fprintf(&b, "%#8x:  %s\n", prog.AddrOf(i), inst.String())
+	}
+	return b.String()
+}

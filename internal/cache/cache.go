@@ -1,0 +1,202 @@
+// Package cache models the memory hierarchy of Table 1: set-associative
+// L1 instruction and data caches, a unified L2, and a flat-latency main
+// memory. The model is a timing model only — data values live in the
+// vm.Memory golden model — so caches track tags, LRU state, and
+// latencies, which is all the register-file experiments need.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency int // cycles for a hit in this level
+}
+
+// Valid reports whether the configuration is internally consistent
+// (power-of-two line size and set count, non-zero ways).
+func (c Config) Valid() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways %d", c.Name, c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible into %d-way sets of %d-byte lines",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last-touched stamp; larger = more recent
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses per access (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative, LRU, write-allocate cache level.
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	lineShift uint
+	setMask   uint64
+	stamp     uint64
+	stats     Stats
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration
+// (configurations are static in this codebase).
+func New(cfg Config) *Cache {
+	if err := cfg.Valid(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, lineShift: shift, setMask: uint64(numSets - 1)}
+}
+
+// Access looks up addr, filling the line on a miss (LRU victim), and
+// reports whether it hit. Reads and writes behave identically for tag
+// state (write-allocate, no write-back traffic modeled).
+func (c *Cache) Access(addr uint64) bool {
+	c.stamp++
+	c.stats.Accesses++
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	t := line // the full line number serves as the tag
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			set[i].lru = c.stamp
+			return true
+		}
+		if set[i].lru < set[victim].lru || !set[i].valid && set[victim].valid {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	set[victim] = way{tag: t, valid: true, lru: c.stamp}
+	return false
+}
+
+// Probe reports whether addr is resident without touching LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the access counters so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Reset invalidates every line and clears statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+	c.stamp = 0
+	c.stats = Stats{}
+}
+
+// HierarchyConfig sizes the full memory system.
+type HierarchyConfig struct {
+	L1I        Config
+	L1D        Config
+	L2         Config
+	MemLatency int // cycles for an L2 miss to reach DRAM
+}
+
+// DefaultHierarchy returns the Table 1 memory system: 32KB 4-way L1s
+// (1 cycle), 1MB 4-way L2 (10 cycles), 100-cycle memory.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 1},
+		L1D:        Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 1},
+		L2:         Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 4, HitLatency: 10},
+		MemLatency: 100,
+	}
+}
+
+// Hierarchy is the assembled memory system.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	cfg HierarchyConfig
+}
+
+// NewHierarchy builds the memory system from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{L1I: New(cfg.L1I), L1D: New(cfg.L1D), L2: New(cfg.L2), cfg: cfg}
+}
+
+// FetchLatency returns the latency in cycles to fetch the instruction
+// line at addr, updating cache state.
+func (h *Hierarchy) FetchLatency(addr uint64) int {
+	return h.access(h.L1I, addr)
+}
+
+// DataLatency returns the latency in cycles for a data access at addr,
+// updating cache state. Stores and loads are identical for tag state.
+func (h *Hierarchy) DataLatency(addr uint64) int {
+	return h.access(h.L1D, addr)
+}
+
+func (h *Hierarchy) access(l1 *Cache, addr uint64) int {
+	lat := l1.Config().HitLatency
+	if l1.Access(addr) {
+		return lat
+	}
+	lat += h.L2.Config().HitLatency
+	if h.L2.Access(addr) {
+		return lat
+	}
+	return lat + h.cfg.MemLatency
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a deliberately naive set-associative LRU model used as an
+// oracle: sets are slices ordered most-recent-first.
+type refCache struct {
+	lineBytes int
+	sets      map[uint64][]uint64 // set index -> line numbers, MRU first
+	ways      int
+	numSets   uint64
+}
+
+func newRef(cfg Config) *refCache {
+	return &refCache{
+		lineBytes: cfg.LineBytes,
+		sets:      make(map[uint64][]uint64),
+		ways:      cfg.Ways,
+		numSets:   uint64(cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)),
+	}
+}
+
+func (r *refCache) access(addr uint64) bool {
+	line := addr / uint64(r.lineBytes)
+	idx := line % r.numSets
+	set := r.sets[idx]
+	for i, l := range set {
+		if l == line {
+			// Move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	set = append([]uint64{line}, set...)
+	if len(set) > r.ways {
+		set = set[:r.ways]
+	}
+	r.sets[idx] = set
+	return false
+}
+
+// TestCacheMatchesReferenceModel drives the production cache and the
+// naive oracle with identical random access streams (mixes of sequential
+// runs, strided sweeps, and random jumps) and requires hit-for-hit
+// agreement.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	cfg := Config{Name: "ref", SizeBytes: 8192, LineBytes: 64, Ways: 4, HitLatency: 1}
+	for seed := int64(0); seed < 10; seed++ {
+		c := New(cfg)
+		ref := newRef(cfg)
+		r := rand.New(rand.NewSource(seed))
+		addr := uint64(r.Intn(1 << 20))
+		for i := 0; i < 20000; i++ {
+			switch r.Intn(4) {
+			case 0: // sequential
+				addr += uint64(r.Intn(16) * 8)
+			case 1: // strided (cache-conflict prone)
+				addr += 8192
+			case 2: // random jump
+				addr = uint64(r.Intn(1 << 22))
+			default: // revisit nearby
+				addr -= uint64(r.Intn(256))
+			}
+			got := c.Access(addr)
+			want := ref.access(addr)
+			if got != want {
+				t.Fatalf("seed %d access %d addr %#x: cache says hit=%v, reference says %v",
+					seed, i, addr, got, want)
+			}
+		}
+		if c.Stats().Accesses != 20000 {
+			t.Fatalf("accesses = %d", c.Stats().Accesses)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"carf/internal/regfile"
+)
+
+func policyParams(pol ShortFreePolicy) Params {
+	p := DefaultParams()
+	p.NumSimple = 16
+	p.NumLong = 8
+	p.ShortFree = pol
+	return p
+}
+
+func TestPolicyNames(t *testing.T) {
+	if New(policyParams(FreeRefBits)).Name() != "content-aware" {
+		t.Error("refbits is the default and should not decorate the name")
+	}
+	if New(policyParams(FreeRefCount)).Name() != "content-aware(refcount)" {
+		t.Error("refcount name")
+	}
+	if New(policyParams(FreeNever)).Name() != "content-aware(never)" {
+		t.Error("never name")
+	}
+	if FreeRefBits.String() != "refbits" || ShortFreePolicy(9).String() != "policy(9)" {
+		t.Error("policy String()")
+	}
+}
+
+func TestRefCountFreesOnLastRelease(t *testing.T) {
+	f := New(policyParams(FreeRefCount))
+	addr := uint64(0x5542_1000_0000)
+	f.NoteAddress(addr)
+	t1, _ := f.Alloc()
+	t2, _ := f.Alloc()
+	f.TryWrite(t1, addr+8)
+	f.TryWrite(t2, addr+16)
+	f.Free(t1)
+	if f.Stats().ShortFrees != 0 {
+		t.Fatal("entry freed while still referenced")
+	}
+	if got, _ := f.ReadValue(t2); got != addr+16 {
+		t.Fatalf("surviving reference corrupted: %#x", got)
+	}
+	f.Free(t2)
+	if f.Stats().ShortFrees != 1 {
+		t.Errorf("short frees = %d after last release", f.Stats().ShortFrees)
+	}
+	// The slot is immediately reusable for a conflicting group.
+	other := addr + 2<<uint(f.Params().DPlusN)
+	f.NoteAddress(other)
+	t3, _ := f.Alloc()
+	f.TryWrite(t3, other+24)
+	if typ := f.TypeOf(t3); typ != regfile.TypeShort {
+		t.Errorf("new group value classified %v after reclamation", typ)
+	}
+}
+
+func TestRefCountDisplacesUnreferencedGroup(t *testing.T) {
+	f := New(policyParams(FreeRefCount))
+	a := uint64(0x5542_1000_0000)
+	b := a + 4<<uint(f.Params().DPlusN) // same index, different group
+	f.NoteAddress(a)                    // installed, never referenced
+	f.NoteAddress(b)                    // displaces the idle group
+	tag, _ := f.Alloc()
+	f.TryWrite(tag, b+8)
+	if typ := f.TypeOf(tag); typ != regfile.TypeShort {
+		t.Errorf("displaced install failed: %v", typ)
+	}
+	if got, _ := f.ReadValue(tag); got != b+8 {
+		t.Errorf("round trip %#x", got)
+	}
+}
+
+func TestNeverPolicyKeepsStaleGroups(t *testing.T) {
+	f := New(policyParams(FreeNever))
+	a := uint64(0x5542_1000_0000)
+	f.NoteAddress(a)
+	tag, _ := f.Alloc()
+	f.TryWrite(tag, a+8)
+	f.Free(tag)
+	for i := 0; i < 5; i++ {
+		f.OnRobInterval(nil)
+	}
+	if f.Stats().ShortFrees != 0 {
+		t.Errorf("never policy freed %d entries", f.Stats().ShortFrees)
+	}
+	// A conflicting group can no longer install; its values become long.
+	b := a + 4<<uint(f.Params().DPlusN)
+	f.NoteAddress(b)
+	tag2, _ := f.Alloc()
+	f.TryWrite(tag2, b+8)
+	if typ := f.TypeOf(tag2); typ != regfile.TypeLong {
+		t.Errorf("stale-group conflict classified %v, want long", typ)
+	}
+	if got, _ := f.ReadValue(tag2); got != b+8 {
+		t.Errorf("round trip %#x", got)
+	}
+}
+
+// TestRefCountNeverCorrupts: stress mixed traffic under eager
+// reclamation — every read-back must stay exact.
+func TestRefCountNeverCorrupts(t *testing.T) {
+	f := New(policyParams(FreeRefCount))
+	rng := uint64(0x1234_5678)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng
+	}
+	bases := []uint64{0x5542_1000_0000, 0x7FFF_F7E0_0000, 0x6000_0000}
+	type live struct {
+		tag int
+		v   uint64
+	}
+	var tags []live
+	for i := 0; i < 5000; i++ {
+		if len(tags) > 10 {
+			l := tags[0]
+			tags = tags[1:]
+			if got, _ := f.ReadValue(l.tag); got != l.v {
+				t.Fatalf("iteration %d: tag %d read %#x, want %#x", i, l.tag, got, l.v)
+			}
+			f.Free(l.tag)
+		}
+		base := bases[next()%3]
+		f.NoteAddress(base + next()%(1<<18))
+		tag, ok := f.Alloc()
+		if !ok {
+			continue
+		}
+		var v uint64
+		switch next() % 3 {
+		case 0:
+			v = next() >> 44 // simple
+		case 1:
+			v = base + next()%(1<<18) // likely short
+		default:
+			v = next() | 1<<62 // long
+		}
+		if !f.TryWrite(tag, v) {
+			f.Free(tag)
+			continue
+		}
+		tags = append(tags, live{tag, v})
+	}
+}

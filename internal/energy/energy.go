@@ -1,0 +1,178 @@
+// Package energy estimates the area, access time, and per-access energy
+// of multiported register file arrays, in the style of Rixner et al.
+// (HPCA 2000), which the paper uses for its §5 evaluation.
+//
+// The model is analytical and normalized (no absolute technology units):
+// a storage cell grows linearly with the port count in each dimension,
+// so cell area is quadratic in ports; wordline length scales with the
+// array width and bitline length with the entry count; access time is
+// decoder depth plus repeated-wire delay along wordline and bitline; and
+// per-access energy is dominated by the switched bitline capacitance.
+// Only relative comparisons between organizations are meaningful, which
+// is exactly how the paper reports results (everything is normalized to
+// the unlimited-resource file).
+package energy
+
+import (
+	"math"
+
+	"carf/internal/regfile"
+)
+
+// Tech holds the model's technology constants, in normalized units.
+type Tech struct {
+	// CellBase and CellPerPort define the storage cell dimensions:
+	// each side measures CellBase + CellPerPort × ports.
+	CellBase    float64
+	CellPerPort float64
+
+	// Delay coefficients.
+	DecodeDelayPerLevel float64 // per decoder level (log2 entries)
+	WireDelayPerUnit    float64 // per unit of repeated wordline/bitline
+
+	// Energy coefficients.
+	BitlineEnergyPerUnit  float64 // per unit of bitline length, per column
+	WordlineEnergyPerUnit float64 // per unit of wordline length
+	DecodeEnergyPerLevel  float64
+	CAMComparePerBit      float64 // per entry-bit searched in a CAM array
+}
+
+// DefaultTech returns the constants calibrated in DESIGN.md §3: the
+// baseline file (112×64b, 8R/6W) lands near the paper's anchor of 48.8%
+// of the unlimited file's (160×64b, 16R/8W) per-access energy, and the
+// sub-file energies of Table 3 fall out within a point or two.
+func DefaultTech() Tech {
+	return Tech{
+		CellBase:              4,
+		CellPerPort:           1,
+		DecodeDelayPerLevel:   50,
+		WireDelayPerUnit:      1,
+		BitlineEnergyPerUnit:  1,
+		WordlineEnergyPerUnit: 1,
+		DecodeEnergyPerLevel:  10,
+		CAMComparePerBit:      0.5,
+	}
+}
+
+// Estimate is the static physical characterization of one array.
+type Estimate struct {
+	Spec       regfile.FileSpec
+	Area       float64
+	AccessTime float64
+	PerAccess  float64 // energy of one read or write access
+}
+
+// Estimate characterizes a register array.
+func (t Tech) Estimate(spec regfile.FileSpec) Estimate {
+	ports := float64(spec.ReadPorts + spec.WritePorts)
+	cell := t.CellBase + t.CellPerPort*ports
+	entries := float64(spec.Entries)
+	width := float64(spec.WidthBits)
+
+	wordline := width * cell
+	bitline := entries * cell
+	levels := math.Log2(math.Max(entries, 2))
+
+	// Storage dominates; decoders and sense amps are folded into the
+	// cell constants.
+	area := entries * width * cell * cell
+
+	delay := t.DecodeDelayPerLevel*levels +
+		t.WireDelayPerUnit*(wordline+bitline)
+
+	access := t.BitlineEnergyPerUnit*width*bitline +
+		t.WordlineEnergyPerUnit*wordline +
+		t.DecodeEnergyPerLevel*levels
+	if spec.CAM {
+		// An associative search switches every entry's comparators
+		// instead of a single decoded wordline.
+		access += t.CAMComparePerBit * entries * width * cell
+		delay += t.WireDelayPerUnit * bitline // match-line settle
+	}
+
+	return Estimate{Spec: spec, Area: area, AccessTime: delay, PerAccess: access}
+}
+
+// FileReport pairs an array's static estimate with its dynamic energy.
+type FileReport struct {
+	Estimate
+	Reads       uint64
+	Writes      uint64
+	TotalEnergy float64
+}
+
+// OrgReport characterizes a whole register file organization: the sum of
+// its arrays plus total energy for the recorded activity.
+type OrgReport struct {
+	Files         []FileReport
+	TotalArea     float64
+	WorstTime     float64 // slowest array bounds the organization
+	TotalEnergy   float64
+	TotalAccesses uint64
+}
+
+// Organization characterizes a register file organization from its
+// per-array activity (regfile.Model.Files()).
+func (t Tech) Organization(files []regfile.FileActivity) OrgReport {
+	var rep OrgReport
+	for _, fa := range files {
+		est := t.Estimate(fa.Spec)
+		accesses := fa.Reads + fa.Writes
+		fr := FileReport{
+			Estimate:    est,
+			Reads:       fa.Reads,
+			Writes:      fa.Writes,
+			TotalEnergy: est.PerAccess * float64(accesses),
+		}
+		rep.Files = append(rep.Files, fr)
+		rep.TotalArea += est.Area
+		rep.TotalEnergy += fr.TotalEnergy
+		rep.TotalAccesses += accesses
+		if est.AccessTime > rep.WorstTime {
+			rep.WorstTime = est.AccessTime
+		}
+	}
+	return rep
+}
+
+// UnlimitedReference returns the static estimate of the paper's
+// unlimited-resource integer file (160 entries, 64 bits, 16R/8W): the
+// normalization anchor for Figures 7–9 and Table 3.
+func (t Tech) UnlimitedReference() Estimate {
+	return t.Estimate(regfile.FileSpec{
+		Name: "unlimited", Entries: 160, WidthBits: 64, ReadPorts: 16, WritePorts: 8,
+	})
+}
+
+// BaselineReference returns the static estimate of the paper's baseline
+// integer file (112 entries, 64 bits, 8R/6W).
+func (t Tech) BaselineReference() Estimate {
+	return t.Estimate(regfile.FileSpec{
+		Name: "baseline", Entries: 112, WidthBits: 64, ReadPorts: 8, WritePorts: 6,
+	})
+}
+
+// RelativeEnergy normalizes an organization's total energy against a
+// reference organization processing the same instruction stream.
+func RelativeEnergy(org, ref OrgReport) float64 {
+	if ref.TotalEnergy == 0 {
+		return 0
+	}
+	return org.TotalEnergy / ref.TotalEnergy
+}
+
+// RelativeArea normalizes total area against a reference estimate.
+func RelativeArea(org OrgReport, ref Estimate) float64 {
+	if ref.Area == 0 {
+		return 0
+	}
+	return org.TotalArea / ref.Area
+}
+
+// RelativeTime normalizes the worst access time against a reference.
+func RelativeTime(org OrgReport, ref Estimate) float64 {
+	if ref.AccessTime == 0 {
+		return 0
+	}
+	return org.WorstTime / ref.AccessTime
+}

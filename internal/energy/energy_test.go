@@ -1,0 +1,225 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"carf/internal/core"
+	"carf/internal/regfile"
+)
+
+func spec(entries, width, rd, wr int) regfile.FileSpec {
+	return regfile.FileSpec{Name: "t", Entries: entries, WidthBits: width, ReadPorts: rd, WritePorts: wr}
+}
+
+func TestBaselineAnchor(t *testing.T) {
+	// The paper reports the baseline file at 48.8% of the unlimited
+	// file's per-access energy; the calibrated model must land close.
+	tech := DefaultTech()
+	ratio := tech.BaselineReference().PerAccess / tech.UnlimitedReference().PerAccess
+	if ratio < 0.40 || ratio > 0.55 {
+		t.Errorf("baseline/unlimited per-access energy = %.3f, want ~0.49", ratio)
+	}
+}
+
+func TestTable3SubFileEnergies(t *testing.T) {
+	// Per-access energies of the content-aware sub-files relative to
+	// the unlimited file, compared against the shape of Table 3 at the
+	// paper's configuration (d+n=20): simple ~8-16%, short ~2-4%,
+	// long ~13-18%.
+	tech := DefaultTech()
+	unl := tech.UnlimitedReference().PerAccess
+	f := core.New(core.DefaultParams())
+	for _, fa := range f.Files() {
+		r := tech.Estimate(fa.Spec).PerAccess / unl
+		var lo, hi float64
+		switch fa.Spec.Name {
+		case "simple":
+			lo, hi = 0.05, 0.20
+		case "short":
+			lo, hi = 0.01, 0.06
+		case "long":
+			lo, hi = 0.10, 0.20
+		}
+		if r < lo || r > hi {
+			t.Errorf("%s per-access = %.3f of unlimited, want in [%.2f, %.2f]",
+				fa.Spec.Name, r, lo, hi)
+		}
+	}
+}
+
+func TestAccessTimesBelowBaseline(t *testing.T) {
+	// Figure 9: every content-aware sub-file is faster than the
+	// baseline file.
+	tech := DefaultTech()
+	base := tech.BaselineReference().AccessTime
+	f := core.New(core.DefaultParams())
+	for _, fa := range f.Files() {
+		at := tech.Estimate(fa.Spec).AccessTime
+		if at >= base {
+			t.Errorf("%s access time %.0f not below baseline %.0f", fa.Spec.Name, at, base)
+		}
+	}
+	// And the paper claims up to ~15% reduction for the critical
+	// (slowest) sub-file.
+	var worst float64
+	for _, fa := range f.Files() {
+		if at := tech.Estimate(fa.Spec).AccessTime; at > worst {
+			worst = at
+		}
+	}
+	if r := worst / base; r > 0.95 {
+		t.Errorf("critical sub-file at %.3f of baseline access time; expected a clear reduction", r)
+	}
+}
+
+func TestAreaBelowBaseline(t *testing.T) {
+	// Figure 8: the three sub-files together are ~82% of the baseline
+	// file's area.
+	tech := DefaultTech()
+	f := core.New(core.DefaultParams())
+	var act []regfile.FileActivity
+	act = append(act, f.Files()...)
+	org := tech.Organization(act)
+	r := org.TotalArea / tech.BaselineReference().Area
+	if r < 0.5 || r > 1.0 {
+		t.Errorf("content-aware/baseline area = %.3f, want < 1 (paper: 0.82)", r)
+	}
+}
+
+func TestMonotonicityProperties(t *testing.T) {
+	tech := DefaultTech()
+	r := rand.New(rand.NewSource(4))
+	grow := func() bool {
+		entries := 8 + r.Intn(256)
+		width := 8 + r.Intn(64)
+		rd := 1 + r.Intn(16)
+		wr := 1 + r.Intn(8)
+		base := tech.Estimate(spec(entries, width, rd, wr))
+		more := []regfile.FileSpec{
+			spec(entries*2, width, rd, wr),
+			spec(entries, width*2, rd, wr),
+			spec(entries, width, rd+4, wr),
+			spec(entries, width, rd, wr+4),
+		}
+		for _, m := range more {
+			e := tech.Estimate(m)
+			if e.Area <= base.Area || e.PerAccess <= base.PerAccess {
+				return false
+			}
+			if e.AccessTime < base.AccessTime {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 500; i++ {
+		if !grow() {
+			t.Fatal("estimate not monotonic in entries/width/ports")
+		}
+	}
+}
+
+func TestCAMPenalty(t *testing.T) {
+	tech := DefaultTech()
+	s := spec(8, 44, 14, 6)
+	plain := tech.Estimate(s)
+	s.CAM = true
+	cam := tech.Estimate(s)
+	if cam.PerAccess <= plain.PerAccess {
+		t.Error("CAM search should cost more energy than a decoded access")
+	}
+	if cam.AccessTime <= plain.AccessTime {
+		t.Error("CAM search should be slower than a decoded access")
+	}
+}
+
+func TestOrganizationAggregation(t *testing.T) {
+	tech := DefaultTech()
+	act := []regfile.FileActivity{
+		{Spec: spec(112, 22, 8, 6), Reads: 100, Writes: 50},
+		{Spec: spec(8, 44, 14, 6), Reads: 10, Writes: 5},
+	}
+	org := tech.Organization(act)
+	if len(org.Files) != 2 {
+		t.Fatalf("files = %d", len(org.Files))
+	}
+	if org.TotalAccesses != 165 {
+		t.Errorf("total accesses = %d", org.TotalAccesses)
+	}
+	wantEnergy := org.Files[0].PerAccess*150 + org.Files[1].PerAccess*15
+	if diff := org.TotalEnergy - wantEnergy; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("total energy %.3f != %.3f", org.TotalEnergy, wantEnergy)
+	}
+	if org.WorstTime != org.Files[0].AccessTime && org.WorstTime != org.Files[1].AccessTime {
+		t.Error("worst time not taken from a member file")
+	}
+}
+
+func TestRelativeHelpers(t *testing.T) {
+	tech := DefaultTech()
+	act := []regfile.FileActivity{{Spec: spec(112, 64, 8, 6), Reads: 10, Writes: 10}}
+	ref := []regfile.FileActivity{{Spec: spec(160, 64, 16, 8), Reads: 10, Writes: 10}}
+	org, rorg := tech.Organization(act), tech.Organization(ref)
+	if r := RelativeEnergy(org, rorg); r <= 0 || r >= 1 {
+		t.Errorf("relative energy %.3f out of (0,1)", r)
+	}
+	if r := RelativeArea(org, tech.UnlimitedReference()); r <= 0 || r >= 1 {
+		t.Errorf("relative area %.3f out of (0,1)", r)
+	}
+	if r := RelativeTime(org, tech.UnlimitedReference()); r <= 0 || r >= 1 {
+		t.Errorf("relative time %.3f out of (0,1)", r)
+	}
+	if RelativeEnergy(org, OrgReport{}) != 0 {
+		t.Error("zero reference should yield 0")
+	}
+}
+
+// TestEnergySweepShape reproduces the d+n trends of Table 3: simple
+// grows with d+n, short and long shrink.
+func TestEnergySweepShape(t *testing.T) {
+	tech := DefaultTech()
+	var prevSimple, prevShort, prevLong float64
+	for i, dn := range []int{8, 12, 16, 20, 24, 28, 32} {
+		p := core.DefaultParams()
+		p.DPlusN = dn
+		f := core.New(p)
+		var simple, short, long float64
+		for _, fa := range f.Files() {
+			e := tech.Estimate(fa.Spec).PerAccess
+			switch fa.Spec.Name {
+			case "simple":
+				simple = e
+			case "short":
+				short = e
+			case "long":
+				long = e
+			}
+		}
+		if i > 0 {
+			if simple <= prevSimple {
+				t.Errorf("d+n=%d: simple energy did not grow", dn)
+			}
+			if short >= prevShort {
+				t.Errorf("d+n=%d: short energy did not shrink", dn)
+			}
+			if long >= prevLong {
+				t.Errorf("d+n=%d: long energy did not shrink", dn)
+			}
+		}
+		prevSimple, prevShort, prevLong = simple, short, long
+	}
+}
+
+func TestEstimateQuickProperties(t *testing.T) {
+	tech := DefaultTech()
+	f := func(e, w, rp, wp uint8) bool {
+		s := spec(2+int(e)%200, 1+int(w)%64, 1+int(rp)%16, 1+int(wp)%8)
+		est := tech.Estimate(s)
+		return est.Area > 0 && est.AccessTime > 0 && est.PerAccess > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4–§5), plus the sensitivity sweeps discussed in the text
+// and the §6 extension studies. Each experiment runs the benchmark
+// suites on the relevant register file organizations and renders the
+// same rows/series the paper reports; DESIGN.md §4 maps experiment ids
+// to paper exhibits, and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"carf/internal/core"
+	"carf/internal/pipeline"
+	"carf/internal/regfile"
+	"carf/internal/stats"
+	"carf/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies benchmark work (1.0 = the standard ~200–400k
+	// dynamic instructions per kernel; experiments default to 0.25).
+	Scale float64
+	// SamplePeriod is the live-value oracle sampling period in cycles.
+	SamplePeriod int
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	if o.SamplePeriod <= 0 {
+		o.SamplePeriod = 128
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	Name   string
+	Tables []stats.Table
+}
+
+// Render formats all tables.
+func (r Result) Render() string {
+	out := ""
+	for _, t := range r.Tables {
+		out += t.Render() + "\n"
+	}
+	return out
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(Options) (Result, error)
+}
+
+var registry = []experiment{
+	{"fig1", "Figure 1: distribution of live integer register values by frequency group", Fig1},
+	{"fig2", "Figure 2: distribution of (64-d)-similar live values, d = 8/12/16", Fig2},
+	{"fig5", "Figure 5: relative IPC vs d+n (8 short, 48 long registers)", Fig5},
+	{"fig6", "Figure 6: register file read/write access distribution by value type vs d+n", Fig6},
+	{"fig7", "Figure 7: register file energy vs d+n, relative to the unlimited file", Fig7},
+	{"fig8", "Figure 8: register file area relative to the unlimited file", Fig8},
+	{"fig9", "Figure 9: register file access time relative to the unlimited file", Fig9},
+	{"table2", "Table 2: percentage of bypassed operands", Table2},
+	{"table3", "Table 3: single-access energy per sub-file, normalized to unlimited", Table3},
+	{"table4", "Table 4: source-operand type distribution (d+n = 20)", Table4},
+	{"sweeps", "§4 sensitivity: short/long file sizes, live-long occupancy, pseudo-deadlock", Sweeps},
+	{"ext", "§6 extensions: CAM short file, SMT sharing, clustering affinity, reclamation/bypass ablations", Extensions},
+	{"memloc", "§6 memory direction: partial value locality in addresses and data traffic", Memloc},
+	{"wrongpath", "fidelity ablation: speculative wrong-path execution vs fetch stall", WrongPath},
+	{"cluster", "§6 clustering: value-type-steered half-width clusters vs unified", Cluster},
+	{"kernels", "per-kernel transparency: IPC on all organizations, mispredicts, write mix", Kernels},
+	{"calibration", "energy-model robustness: conclusions across technology constants", Calibration},
+}
+
+// Names lists experiment ids in paper order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) string {
+	for _, e := range registry {
+		if e.name == name {
+			return e.desc
+		}
+	}
+	return ""
+}
+
+// Run executes one experiment by id.
+func Run(name string, opt Options) (Result, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.run(opt.withDefaults())
+		}
+	}
+	return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(opt Options) ([]Result, error) {
+	var out []Result
+	for _, e := range registry {
+		r, err := e.run(opt.withDefaults())
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// modelSpec builds a fresh register file model per simulation (models
+// are stateful and single-run).
+type modelSpec func() regfile.Model
+
+func baselineSpec() modelSpec  { return func() regfile.Model { return regfile.Baseline() } }
+func unlimitedSpec() modelSpec { return func() regfile.Model { return regfile.Unlimited() } }
+
+func carfSpec(p core.Params) modelSpec {
+	return func() regfile.Model { return core.New(p) }
+}
+
+// runOut is one simulation's harvest.
+type runOut struct {
+	kernel workload.Kernel
+	pstats pipeline.Stats
+	files  []regfile.FileActivity
+	carf   *core.Stats
+}
+
+// runOne simulates kernel k on a fresh model.
+func runOne(k workload.Kernel, spec modelSpec, sampler pipeline.LiveSampler, period int) (runOut, error) {
+	return runOneCfg(k, spec, pipeline.DefaultConfig(), sampler, period)
+}
+
+// runOneCfg simulates kernel k with an explicit pipeline configuration
+// (ablations: bypass depth, widths).
+func runOneCfg(k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pipeline.LiveSampler, period int) (runOut, error) {
+	model := spec()
+	cpu := pipeline.New(cfg, k.Prog, model)
+	if sampler != nil {
+		cpu.SetSampler(sampler, period)
+	}
+	st, err := cpu.Run()
+	if err != nil {
+		return runOut{}, fmt.Errorf("%s on %s: %w", k.Name, model.Name(), err)
+	}
+	if st.ValueMismatches != 0 {
+		return runOut{}, fmt.Errorf("%s on %s: %d register reconstruction mismatches",
+			k.Name, model.Name(), st.ValueMismatches)
+	}
+	out := runOut{kernel: k, pstats: st, files: model.Files()}
+	if f, ok := model.(*core.File); ok {
+		cs := f.Stats()
+		out.carf = &cs
+	}
+	return out, nil
+}
+
+// runSuite simulates every kernel of a suite on fresh models, in
+// parallel, returning results in suite order.
+func runSuite(kernels []workload.Kernel, spec modelSpec, opt Options) ([]runOut, error) {
+	return runSuiteCfg(kernels, spec, pipeline.DefaultConfig(), opt)
+}
+
+// runSuiteCfg is runSuite with an explicit pipeline configuration.
+func runSuiteCfg(kernels []workload.Kernel, spec modelSpec, cfg pipeline.Config, opt Options) ([]runOut, error) {
+	outs := make([]runOut, len(kernels))
+	errs := make([]error, len(kernels))
+	sem := make(chan struct{}, opt.Parallel)
+	var wg sync.WaitGroup
+	for i, k := range kernels {
+		wg.Add(1)
+		go func(i int, k workload.Kernel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i], errs[i] = runOneCfg(k, spec, cfg, nil, 0)
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// meanRelIPC returns mean(IPC_a / IPC_b) across paired runs.
+func meanRelIPC(a, b []runOut) float64 {
+	ratios := make([]float64, len(a))
+	for i := range a {
+		ratios[i] = a[i].pstats.IPC() / b[i].pstats.IPC()
+	}
+	return stats.Mean(ratios)
+}
+
+// dnSweep is the d+n design space of Figures 5–7 and Table 3.
+var dnSweep = []int{8, 12, 16, 20, 24, 28, 32}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"carf/internal/oracle"
+	"carf/internal/stats"
+	"carf/internal/workload"
+)
+
+// oracleSuite runs every kernel of a suite on the baseline machine with
+// one live-value analyzer per requested d, merged across kernels.
+func oracleSuite(kernels []workload.Kernel, ds []int, opt Options) ([]*oracle.Analyzer, error) {
+	merged := make([]*oracle.Analyzer, len(ds))
+	for i, d := range ds {
+		merged[i] = oracle.NewAnalyzer(d)
+	}
+	var mu sync.Mutex
+	errs := make([]error, len(kernels))
+	sem := make(chan struct{}, opt.Parallel)
+	var wg sync.WaitGroup
+	for i, k := range kernels {
+		wg.Add(1)
+		go func(i int, k workload.Kernel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local := make(oracle.Fanout, len(ds))
+			analyzers := make([]*oracle.Analyzer, len(ds))
+			for j, d := range ds {
+				analyzers[j] = oracle.NewAnalyzer(d)
+				local[j] = analyzers[j]
+			}
+			if _, err := runOne(k, baselineSpec(), local, opt.SamplePeriod); err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			for j := range merged {
+				merged[j].Merge(analyzers[j])
+			}
+			mu.Unlock()
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+func distributionRow(label string, d [oracle.NumBuckets]float64) []string {
+	row := []string{label}
+	for _, f := range d {
+		row = append(row, stats.Pct(f))
+	}
+	return row
+}
+
+// Fig1 reproduces Figure 1: the distribution of live integer register
+// values by frequency group for the integer and FP suites.
+func Fig1(opt Options) (Result, error) {
+	tb := stats.Table{
+		Title:  "Figure 1: Distribution of live integer data values by frequency group",
+		Header: append([]string{"suite"}, oracle.BucketLabels[:]...),
+	}
+	for _, suite := range []struct {
+		label   string
+		kernels []workload.Kernel
+	}{
+		{"SPECint-like", workload.IntSuite(opt.Scale)},
+		{"SPECfp-like", workload.FPSuite(opt.Scale)},
+	} {
+		merged, err := oracleSuite(suite.kernels, []int{0}, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		tb.Rows = append(tb.Rows, distributionRow(suite.label, merged[0].Distribution()))
+	}
+	tb.AddNote("paper: a single value accounts for ~14%% of SPECint live values; REST ~55%% (int), ~63%% (fp)")
+	return Result{Name: "fig1", Tables: []stats.Table{tb}}, nil
+}
+
+// Fig2 reproduces Figure 2: the distribution of (64−d)-similar live
+// integer values for d = 8, 12, 16, across the full suite.
+func Fig2(opt Options) (Result, error) {
+	ds := []int{8, 12, 16}
+	merged, err := oracleSuite(workload.AllKernels(opt.Scale), ds, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	tb := stats.Table{
+		Title:  "Figure 2: Distribution of (64-d)-similar live integer data values",
+		Header: append([]string{"d"}, oracle.BucketLabels[:]...),
+	}
+	for i, d := range ds {
+		tb.Rows = append(tb.Rows, distributionRow(fmt.Sprintf("(64-%d)-similar", d), merged[i].Distribution()))
+	}
+	tb.AddNote("paper (d=8): Group 1 ~35%%, REST ~35%%; REST shrinks as d grows; top-4 groups capture ~70%% at d=16")
+	return Result{Name: "fig2", Tables: []stats.Table{tb}}, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"carf/internal/core"
+	"carf/internal/energy"
+	"carf/internal/stats"
+	"carf/internal/workload"
+)
+
+// defaultTechWith perturbs the two geometry constants that drive the
+// energy model's port sensitivity.
+func defaultTechWith(cellBase, perPort float64) energy.Tech {
+	t := energy.DefaultTech()
+	t.CellBase = cellBase
+	t.CellPerPort = perPort
+	return t
+}
+
+// Kernels is the per-benchmark transparency table behind the averaged
+// exhibits: IPC on all three organizations, the content-aware IPC ratio,
+// branch misprediction rate, and the value-type mix of each kernel's
+// register writes. Useful for judging which behaviours drive each
+// averaged number.
+func Kernels(opt Options) (Result, error) {
+	all := workload.AllKernels(opt.Scale)
+	unl, err := runSuite(all, unlimitedSpec(), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	base, err := runSuite(all, baselineSpec(), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	carf, err := runSuite(all, carfSpec(core.DefaultParams()), opt)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tb := stats.Table{
+		Title: "Per-kernel results (content-aware at the paper's configuration)",
+		Header: []string{"kernel", "suite", "IPC unl", "IPC base", "IPC carf",
+			"carf/base", "mispredict", "writes s/h/l"},
+	}
+	for i, k := range all {
+		suite := "int"
+		if k.FP {
+			suite = "fp"
+		}
+		cs := carf[i].carf
+		var wtotal uint64
+		for _, w := range cs.WritesByType {
+			wtotal += w
+		}
+		mix := "-"
+		if wtotal > 0 {
+			mix = fmt.Sprintf("%.0f/%.0f/%.0f",
+				100*float64(cs.WritesByType[0])/float64(wtotal),
+				100*float64(cs.WritesByType[1])/float64(wtotal),
+				100*float64(cs.WritesByType[2])/float64(wtotal))
+		}
+		mp := 0.0
+		if b := base[i].pstats.Branches; b > 0 {
+			mp = float64(base[i].pstats.Mispredicts) / float64(b)
+		}
+		tb.AddRow(k.Name, suite,
+			stats.F3(unl[i].pstats.IPC()),
+			stats.F3(base[i].pstats.IPC()),
+			stats.F3(carf[i].pstats.IPC()),
+			stats.Pct(carf[i].pstats.IPC()/base[i].pstats.IPC()),
+			stats.Pct(mp),
+			mix)
+	}
+	return Result{Name: "kernels", Tables: []stats.Table{tb}}, nil
+}
+
+// Calibration checks that the evaluation's conclusions survive
+// perturbing the energy model's technology constants: for each
+// calibration, the baseline-vs-unlimited anchor moves, but the
+// content-aware organization must keep saving energy, area, and access
+// time relative to the baseline.
+func Calibration(opt Options) (Result, error) {
+	outs, err := runSuite(workload.IntSuite(opt.Scale), carfSpec(core.DefaultParams()), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	baseOuts, err := runSuite(workload.IntSuite(opt.Scale), baselineSpec(), opt)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tb := stats.Table{
+		Title: "Energy-model calibration robustness (content-aware relative to baseline)",
+		Header: []string{"cell base", "per-port growth", "baseline/unl energy",
+			"carf/base energy", "carf/base area", "carf/base time"},
+	}
+	for _, cal := range []struct{ base, perPort float64 }{
+		{2, 0.5}, {2, 1}, {4, 1}, {4, 2}, {8, 1}, {8, 2},
+	} {
+		tech := defaultTechWith(cal.base, cal.perPort)
+		unlRef := tech.UnlimitedReference()
+		baseRef := tech.BaselineReference()
+
+		var carfEnergy, baseEnergy float64
+		for i := range outs {
+			carfEnergy += tech.Organization(outs[i].files).TotalEnergy
+			baseEnergy += tech.Organization(baseOuts[i].files).TotalEnergy
+		}
+		var carfArea, carfTime float64
+		f := core.New(core.DefaultParams())
+		for _, fa := range f.Files() {
+			est := tech.Estimate(fa.Spec)
+			carfArea += est.Area
+			if est.AccessTime > carfTime {
+				carfTime = est.AccessTime
+			}
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.0f", cal.base),
+			fmt.Sprintf("%.1f", cal.perPort),
+			stats.Pct(baseRef.PerAccess/unlRef.PerAccess),
+			stats.Pct(carfEnergy/baseEnergy),
+			stats.Pct(carfArea/baseRef.Area),
+			stats.Pct(carfTime/baseRef.AccessTime),
+		)
+	}
+	tb.AddNote("the paper's conclusions (energy roughly halved, area and access time reduced) must hold on every row")
+	return Result{Name: "calibration", Tables: []stats.Table{tb}}, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"carf/internal/core"
+	"carf/internal/pipeline"
+	"carf/internal/stats"
+	"carf/internal/vm"
+	"carf/internal/workload"
+)
+
+// smtPolicyStudy compares the §6 thread-priority policies on a
+// long-value-heavy pair with a deliberately small shared Long file
+// (pressure makes the policy matter).
+func smtPolicyStudy(opt Options) (stats.Table, error) {
+	tb := stats.Table{
+		Title:  "SMT thread-priority policy under Long-file pressure (crc64+hashprobe, K=24)",
+		Header: []string{"policy", "combined IPC", "recovery stalls", "long-stall cycles"},
+	}
+	ka, err := workload.ByName("crc64", opt.Scale)
+	if err != nil {
+		return stats.Table{}, err
+	}
+	kb, err := workload.ByName("hashprobe", opt.Scale)
+	if err != nil {
+		return stats.Table{}, err
+	}
+	for _, pol := range []pipeline.SMTPolicy{pipeline.PolicyRoundRobin, pipeline.PolicyLongAware} {
+		p := core.DefaultParams()
+		p.NumLong = 24
+		model := core.New(p)
+		smt := pipeline.NewSMT(pipeline.DefaultConfig(), [2]*vm.Program{ka.Prog, kb.Prog}, model)
+		smt.SetPolicy(pol)
+		sts, err := smt.Run()
+		if err != nil {
+			return stats.Table{}, err
+		}
+		for i, k := range []workload.Kernel{ka, kb} {
+			if got := smt.Thread(i).Machine().X[workload.ResultReg]; got != k.Expected {
+				return stats.Table{}, fmt.Errorf("smt policy %s, %s: result %#x, want %#x", pol, k.Name, got, k.Expected)
+			}
+		}
+		tb.AddRow(pol.String(),
+			stats.F3(sts[0].IPC()+sts[1].IPC()),
+			fmt.Sprintf("%d", sts[0].RecoveryStallCycles+sts[1].RecoveryStallCycles),
+			fmt.Sprintf("%d", sts[0].LongStallCycles+sts[1].LongStallCycles))
+	}
+	tb.AddNote("the long-aware policy throttles the thread hoarding Long entries when the shared file runs low")
+	return tb, nil
+}
+
+// smtPair runs two kernels on the two-thread machine sharing one
+// content-aware file and returns a report row: combined throughput, its
+// ratio to the sum of the solo runs (the sharing cost), the shared
+// file's live-long occupancy, and recovery pressure.
+func smtPair(a, b string, opt Options) ([]string, error) {
+	ka, err := workload.ByName(a, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	kb, err := workload.ByName(b, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+
+	soloA, err := runOne(ka, carfSpec(core.DefaultParams()), nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	soloB, err := runOne(kb, carfSpec(core.DefaultParams()), nil, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	model := core.New(core.DefaultParams())
+	smt := pipeline.NewSMT(pipeline.DefaultConfig(), [2]*vm.Program{ka.Prog, kb.Prog}, model)
+	sts, err := smt.Run()
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range []workload.Kernel{ka, kb} {
+		if got := smt.Thread(i).Machine().X[workload.ResultReg]; got != k.Expected {
+			return nil, fmt.Errorf("smt %s: result %#x, want %#x", k.Name, got, k.Expected)
+		}
+	}
+
+	// Per-thread IPC is measured over each thread's own active cycles,
+	// so a short thread draining early does not count as idle loss.
+	combined := sts[0].IPC() + sts[1].IPC()
+	soloSum := soloA.pstats.IPC() + soloB.pstats.IPC()
+	cs := model.Stats()
+	return []string{
+		a + "+" + b,
+		stats.F3(combined),
+		stats.Pct(combined / soloSum),
+		stats.F3(cs.AvgLiveLong()),
+		fmt.Sprintf("%d", sts[0].RecoveryStallCycles+sts[1].RecoveryStallCycles),
+	}, nil
+}

@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding. Every instruction occupies one little-endian 64-bit
+// word laid out as
+//
+//	bits  0..7   opcode
+//	bits  8..13  rd
+//	bits 14..19  rs1
+//	bits 20..25  rs2
+//	bits 26..63  imm (38 bits, two's complement)
+//
+// LIMM carries its 64-bit literal in a second word (the imm field of the
+// first word is zero), for a total of 16 bytes.
+
+const (
+	immBits = 38
+	immMax  = int64(1)<<(immBits-1) - 1
+	immMin  = -int64(1) << (immBits - 1)
+)
+
+// ErrImmRange is returned (wrapped) when an immediate does not fit the
+// 38-bit encoded field.
+var ErrImmRange = fmt.Errorf("isa: immediate out of 38-bit range")
+
+// EncodedLen returns the number of bytes Encode would emit for inst.
+func EncodedLen(inst Inst) int { return int(OpSize(inst.Op)) }
+
+// Encode appends the binary encoding of inst to dst and returns the
+// extended slice. It returns an error for invalid opcodes, register
+// fields out of range, or immediates that do not fit (except LIMM, whose
+// literal is full 64-bit).
+func Encode(dst []byte, inst Inst) ([]byte, error) {
+	if !inst.Op.Valid() {
+		return dst, fmt.Errorf("isa: encode: invalid opcode %d", inst.Op)
+	}
+	if inst.Rd >= NumRegs || inst.Rs1 >= NumRegs || inst.Rs2 >= NumRegs {
+		return dst, fmt.Errorf("isa: encode %s: register out of range", inst.Op)
+	}
+	imm := inst.Imm
+	if inst.Op == LIMM {
+		imm = 0
+	} else if inst.Op.HasImm() {
+		if imm < immMin || imm > immMax {
+			return dst, fmt.Errorf("%w: %s imm=%d", ErrImmRange, inst.Op, imm)
+		}
+	} else {
+		imm = 0
+	}
+	w := uint64(inst.Op) |
+		uint64(inst.Rd)<<8 |
+		uint64(inst.Rs1)<<14 |
+		uint64(inst.Rs2)<<20 |
+		(uint64(imm)&(1<<immBits-1))<<26
+	dst = binary.LittleEndian.AppendUint64(dst, w)
+	if inst.Op == LIMM {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(inst.Imm))
+	}
+	return dst, nil
+}
+
+// Decode decodes one instruction from the front of b, returning the
+// instruction and the number of bytes consumed.
+func Decode(b []byte) (Inst, int, error) {
+	if len(b) < 8 {
+		return Inst{}, 0, fmt.Errorf("isa: decode: short buffer (%d bytes)", len(b))
+	}
+	w := binary.LittleEndian.Uint64(b)
+	op := Op(w & 0xff)
+	if !op.Valid() {
+		return Inst{}, 0, fmt.Errorf("isa: decode: invalid opcode %d", uint8(op))
+	}
+	inst := Inst{
+		Op:  op,
+		Rd:  Reg(w >> 8 & 0x3f),
+		Rs1: Reg(w >> 14 & 0x3f),
+		Rs2: Reg(w >> 20 & 0x3f),
+	}
+	if inst.Rd >= NumRegs || inst.Rs1 >= NumRegs || inst.Rs2 >= NumRegs {
+		return Inst{}, 0, fmt.Errorf("isa: decode %s: register out of range", op)
+	}
+	if op == LIMM {
+		if len(b) < 16 {
+			return Inst{}, 0, fmt.Errorf("isa: decode limm: short buffer (%d bytes)", len(b))
+		}
+		inst.Imm = int64(binary.LittleEndian.Uint64(b[8:]))
+		return inst, 16, nil
+	}
+	if op.HasImm() {
+		raw := w >> 26 & (1<<immBits - 1)
+		// Sign-extend from 38 bits.
+		inst.Imm = int64(raw<<(64-immBits)) >> (64 - immBits)
+	}
+	return inst, 8, nil
+}
+
+// EncodeProgram encodes a sequence of instructions into one contiguous
+// image, as laid out in instruction memory.
+func EncodeProgram(insts []Inst) ([]byte, error) {
+	var out []byte
+	for idx, inst := range insts {
+		var err error
+		out, err = Encode(out, inst)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", idx, err)
+		}
+	}
+	return out, nil
+}
+
+// DecodeProgram decodes a contiguous instruction image back into a slice
+// of instructions.
+func DecodeProgram(image []byte) ([]Inst, error) {
+	var out []Inst
+	for off := 0; off < len(image); {
+		inst, n, err := Decode(image[off:])
+		if err != nil {
+			return nil, fmt.Errorf("offset %d: %w", off, err)
+		}
+		out = append(out, inst)
+		off += n
+	}
+	return out, nil
+}

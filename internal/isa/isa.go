@@ -1,0 +1,349 @@
+// Package isa defines R64, the 64-bit load/store instruction set executed
+// by the simulator. R64 is a small RISC ISA in the Alpha/MIPS64 tradition:
+// 32 integer registers (x0 hardwired to zero), 32 floating-point
+// registers, register+displacement addressing, and compare-and-branch
+// control flow.
+//
+// Instructions use a fixed 8-byte encoding (16 bytes for LIMM, which
+// carries a full 64-bit literal in a trailing word). The wide encoding is
+// a simulator convenience — it leaves room for 38-bit displacements and a
+// one-word decoder — and is documented in DESIGN.md; none of the paper's
+// register-file metrics depend on code density.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Whether it is an integer or a
+// floating-point register is determined by the instruction's operand
+// classes, not by the number itself.
+type Reg uint8
+
+// NumRegs is the number of architectural registers in each register file
+// (integer and floating point).
+const NumRegs = 32
+
+// Zero is the hardwired-zero integer register.
+const Zero Reg = 0
+
+// RegClass says which register file an operand field addresses.
+type RegClass uint8
+
+const (
+	RegNone RegClass = iota // field unused
+	RegInt
+	RegFP
+)
+
+// Op is an R64 opcode.
+type Op uint8
+
+// Integer ALU, register-register.
+const (
+	NOP Op = iota
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MUL
+	MULHU
+	DIV
+	REM
+
+	// Integer ALU, register-immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	SLTIU
+	LIMM // load 64-bit literal into rd
+
+	// Memory. Effective address is rs1 + imm.
+	LD  // load 64-bit
+	LW  // load 32-bit, sign-extended
+	LWU // load 32-bit, zero-extended
+	LB  // load 8-bit, sign-extended
+	LBU // load 8-bit, zero-extended
+	ST  // store 64-bit
+	SW  // store 32-bit
+	SB  // store 8-bit
+
+	// Control transfer. Branch/jump displacements are byte offsets
+	// relative to the address of the *next* instruction.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL  // rd <- return address; PC <- PC+size+imm
+	JALR // rd <- return address; PC <- rs1+imm
+
+	// Floating point (IEEE-754 binary64).
+	FLD // fp load 64-bit
+	FSD // fp store 64-bit
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FSQRT
+	FABS
+	FNEG
+	FMIN
+	FMAX
+	FMADD  // rd <- rd + rs1*rs2 (destructive accumulate)
+	FCVTDL // fp <- signed int
+	FCVTLD // int <- fp (truncated)
+	FEQ    // int rd <- (fp rs1 == fp rs2)
+	FLT    // int rd <- (fp rs1 < fp rs2)
+	FLE    // int rd <- (fp rs1 <= fp rs2)
+	FMVXD  // int rd <- raw bits of fp rs1
+	FMVDX  // fp rd <- raw bits of int rs1
+
+	HALT // stop the machine
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes (useful for table sizing and
+// randomized tests).
+const NumOps = int(numOps)
+
+// Class is a coarse functional grouping used by the pipeline to steer
+// instructions to functional units and queues.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul // multiplier/divider (still latency-1 per Table 1)
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassFPU
+	ClassSys
+)
+
+type opInfo struct {
+	name   string
+	class  Class
+	rd     RegClass
+	rs1    RegClass
+	rs2    RegClass
+	hasImm bool
+}
+
+var opTable = [numOps]opInfo{
+	NOP: {"nop", ClassNop, RegNone, RegNone, RegNone, false},
+
+	ADD:   {"add", ClassIntALU, RegInt, RegInt, RegInt, false},
+	SUB:   {"sub", ClassIntALU, RegInt, RegInt, RegInt, false},
+	AND:   {"and", ClassIntALU, RegInt, RegInt, RegInt, false},
+	OR:    {"or", ClassIntALU, RegInt, RegInt, RegInt, false},
+	XOR:   {"xor", ClassIntALU, RegInt, RegInt, RegInt, false},
+	SLL:   {"sll", ClassIntALU, RegInt, RegInt, RegInt, false},
+	SRL:   {"srl", ClassIntALU, RegInt, RegInt, RegInt, false},
+	SRA:   {"sra", ClassIntALU, RegInt, RegInt, RegInt, false},
+	SLT:   {"slt", ClassIntALU, RegInt, RegInt, RegInt, false},
+	SLTU:  {"sltu", ClassIntALU, RegInt, RegInt, RegInt, false},
+	MUL:   {"mul", ClassIntMul, RegInt, RegInt, RegInt, false},
+	MULHU: {"mulhu", ClassIntMul, RegInt, RegInt, RegInt, false},
+	DIV:   {"div", ClassIntMul, RegInt, RegInt, RegInt, false},
+	REM:   {"rem", ClassIntMul, RegInt, RegInt, RegInt, false},
+
+	ADDI:  {"addi", ClassIntALU, RegInt, RegInt, RegNone, true},
+	ANDI:  {"andi", ClassIntALU, RegInt, RegInt, RegNone, true},
+	ORI:   {"ori", ClassIntALU, RegInt, RegInt, RegNone, true},
+	XORI:  {"xori", ClassIntALU, RegInt, RegInt, RegNone, true},
+	SLLI:  {"slli", ClassIntALU, RegInt, RegInt, RegNone, true},
+	SRLI:  {"srli", ClassIntALU, RegInt, RegInt, RegNone, true},
+	SRAI:  {"srai", ClassIntALU, RegInt, RegInt, RegNone, true},
+	SLTI:  {"slti", ClassIntALU, RegInt, RegInt, RegNone, true},
+	SLTIU: {"sltiu", ClassIntALU, RegInt, RegInt, RegNone, true},
+	LIMM:  {"limm", ClassIntALU, RegInt, RegNone, RegNone, true},
+
+	LD:  {"ld", ClassLoad, RegInt, RegInt, RegNone, true},
+	LW:  {"lw", ClassLoad, RegInt, RegInt, RegNone, true},
+	LWU: {"lwu", ClassLoad, RegInt, RegInt, RegNone, true},
+	LB:  {"lb", ClassLoad, RegInt, RegInt, RegNone, true},
+	LBU: {"lbu", ClassLoad, RegInt, RegInt, RegNone, true},
+	ST:  {"st", ClassStore, RegNone, RegInt, RegInt, true},
+	SW:  {"sw", ClassStore, RegNone, RegInt, RegInt, true},
+	SB:  {"sb", ClassStore, RegNone, RegInt, RegInt, true},
+
+	BEQ:  {"beq", ClassBranch, RegNone, RegInt, RegInt, true},
+	BNE:  {"bne", ClassBranch, RegNone, RegInt, RegInt, true},
+	BLT:  {"blt", ClassBranch, RegNone, RegInt, RegInt, true},
+	BGE:  {"bge", ClassBranch, RegNone, RegInt, RegInt, true},
+	BLTU: {"bltu", ClassBranch, RegNone, RegInt, RegInt, true},
+	BGEU: {"bgeu", ClassBranch, RegNone, RegInt, RegInt, true},
+	JAL:  {"jal", ClassJump, RegInt, RegNone, RegNone, true},
+	JALR: {"jalr", ClassJump, RegInt, RegInt, RegNone, true},
+
+	FLD:    {"fld", ClassLoad, RegFP, RegInt, RegNone, true},
+	FSD:    {"fsd", ClassStore, RegNone, RegInt, RegFP, true},
+	FADD:   {"fadd", ClassFPU, RegFP, RegFP, RegFP, false},
+	FSUB:   {"fsub", ClassFPU, RegFP, RegFP, RegFP, false},
+	FMUL:   {"fmul", ClassFPU, RegFP, RegFP, RegFP, false},
+	FDIV:   {"fdiv", ClassFPU, RegFP, RegFP, RegFP, false},
+	FSQRT:  {"fsqrt", ClassFPU, RegFP, RegFP, RegNone, false},
+	FABS:   {"fabs", ClassFPU, RegFP, RegFP, RegNone, false},
+	FNEG:   {"fneg", ClassFPU, RegFP, RegFP, RegNone, false},
+	FMIN:   {"fmin", ClassFPU, RegFP, RegFP, RegFP, false},
+	FMAX:   {"fmax", ClassFPU, RegFP, RegFP, RegFP, false},
+	FMADD:  {"fmadd", ClassFPU, RegFP, RegFP, RegFP, false},
+	FCVTDL: {"fcvt.d.l", ClassFPU, RegFP, RegInt, RegNone, false},
+	FCVTLD: {"fcvt.l.d", ClassFPU, RegInt, RegFP, RegNone, false},
+	FEQ:    {"feq", ClassFPU, RegInt, RegFP, RegFP, false},
+	FLT:    {"flt", ClassFPU, RegInt, RegFP, RegFP, false},
+	FLE:    {"fle", ClassFPU, RegInt, RegFP, RegFP, false},
+	FMVXD:  {"fmv.x.d", ClassFPU, RegInt, RegFP, RegNone, false},
+	FMVDX:  {"fmv.d.x", ClassFPU, RegFP, RegInt, RegNone, false},
+
+	HALT: {"halt", ClassSys, RegNone, RegNone, RegNone, false},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < numOps && (op == NOP || opTable[op].name != "") }
+
+// Name returns the assembler mnemonic.
+func (op Op) Name() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class returns the functional class of the opcode.
+func (op Op) Class() Class { return opTable[op].class }
+
+// RdClass returns the register class of the destination field.
+func (op Op) RdClass() RegClass { return opTable[op].rd }
+
+// Rs1Class returns the register class of the first source field.
+func (op Op) Rs1Class() RegClass { return opTable[op].rs1 }
+
+// Rs2Class returns the register class of the second source field.
+func (op Op) Rs2Class() RegClass { return opTable[op].rs2 }
+
+// HasImm reports whether the opcode uses the immediate field.
+func (op Op) HasImm() bool { return opTable[op].hasImm }
+
+// IsLoad reports whether the opcode reads data memory.
+func (op Op) IsLoad() bool { return opTable[op].class == ClassLoad }
+
+// IsStore reports whether the opcode writes data memory.
+func (op Op) IsStore() bool { return opTable[op].class == ClassStore }
+
+// IsMem reports whether the opcode accesses data memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (op Op) IsBranch() bool { return opTable[op].class == ClassBranch }
+
+// IsJump reports whether the opcode is an unconditional control transfer.
+func (op Op) IsJump() bool { return opTable[op].class == ClassJump }
+
+// IsControl reports whether the opcode can redirect the PC.
+func (op Op) IsControl() bool { return op.IsBranch() || op.IsJump() }
+
+// WritesInt reports whether the opcode writes an integer register. Writes
+// to x0 are discarded architecturally but still allocate a destination in
+// the rename stage, matching hardware that does not special-case x0 until
+// retirement; the workload builder never emits x0 destinations.
+func (op Op) WritesInt() bool { return opTable[op].rd == RegInt }
+
+// WritesFP reports whether the opcode writes a floating-point register.
+func (op Op) WritesFP() bool { return opTable[op].rd == RegFP }
+
+// String implements fmt.Stringer.
+func (op Op) String() string { return op.Name() }
+
+// Inst is one decoded R64 instruction.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// Size returns the encoded size of the instruction in bytes.
+func (i Inst) Size() int64 { return OpSize(i.Op) }
+
+// OpSize returns the encoded size in bytes of an instruction with the
+// given opcode.
+func OpSize(op Op) int64 {
+	if op == LIMM {
+		return 16
+	}
+	return 8
+}
+
+// IsAddressProducer reports whether the instruction computes or carries a
+// memory address: loads and stores (whose effective address the
+// content-aware file may install in the Short file, §3.2 of the paper).
+func (i Inst) IsAddressProducer() bool { return i.Op.IsMem() }
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	info := opTable[i.Op]
+	pr := func(c RegClass, r Reg) string {
+		switch c {
+		case RegInt:
+			return fmt.Sprintf("x%d", r)
+		case RegFP:
+			return fmt.Sprintf("f%d", r)
+		}
+		return ""
+	}
+	switch {
+	case i.Op == NOP || i.Op == HALT:
+		return info.name
+	case i.Op == LIMM:
+		return fmt.Sprintf("%s %s, %#x", info.name, pr(info.rd, i.Rd), uint64(i.Imm))
+	case i.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, pr(info.rd, i.Rd), i.Imm, pr(info.rs1, i.Rs1))
+	case i.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, pr(info.rs2, i.Rs2), i.Imm, pr(info.rs1, i.Rs1))
+	case i.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, %d", info.name, pr(info.rs1, i.Rs1), pr(info.rs2, i.Rs2), i.Imm)
+	case i.Op == JAL:
+		return fmt.Sprintf("%s %s, %d", info.name, pr(info.rd, i.Rd), i.Imm)
+	case i.Op == JALR:
+		return fmt.Sprintf("%s %s, %s, %d", info.name, pr(info.rd, i.Rd), pr(info.rs1, i.Rs1), i.Imm)
+	}
+	// Register-form and immediate-form ALU/FP operations.
+	s := info.name + " "
+	first := true
+	add := func(tok string) {
+		if !first {
+			s += ", "
+		}
+		s += tok
+		first = false
+	}
+	if info.rd != RegNone {
+		add(pr(info.rd, i.Rd))
+	}
+	if info.rs1 != RegNone {
+		add(pr(info.rs1, i.Rs1))
+	}
+	if info.rs2 != RegNone {
+		add(pr(info.rs2, i.Rs2))
+	}
+	if info.hasImm {
+		add(fmt.Sprintf("%d", i.Imm))
+	}
+	return s
+}

@@ -1,0 +1,306 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		if op != NOP && opTable[op].name == "" {
+			t.Errorf("opcode %d has no table entry", op)
+		}
+		if !op.Valid() {
+			t.Errorf("opcode %d (%s) not valid", op, op.Name())
+		}
+	}
+	if Op(NumOps).Valid() {
+		t.Errorf("opcode %d past the table reports valid", NumOps)
+	}
+}
+
+func TestOpClassConsistency(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		info := opTable[op]
+		switch info.class {
+		case ClassLoad:
+			if info.rd == RegNone {
+				t.Errorf("%s: load without destination", op)
+			}
+			if !info.hasImm {
+				t.Errorf("%s: load without displacement", op)
+			}
+			if info.rs1 != RegInt {
+				t.Errorf("%s: load base register must be integer", op)
+			}
+		case ClassStore:
+			if info.rd != RegNone {
+				t.Errorf("%s: store with destination", op)
+			}
+			if info.rs1 != RegInt {
+				t.Errorf("%s: store base register must be integer", op)
+			}
+			if info.rs2 == RegNone {
+				t.Errorf("%s: store without data source", op)
+			}
+		case ClassBranch:
+			if info.rd != RegNone {
+				t.Errorf("%s: conditional branch with destination", op)
+			}
+			if !info.hasImm {
+				t.Errorf("%s: branch without displacement", op)
+			}
+		}
+		if op.IsMem() != (op.IsLoad() || op.IsStore()) {
+			t.Errorf("%s: IsMem inconsistent", op)
+		}
+		if op.IsControl() != (op.IsBranch() || op.IsJump()) {
+			t.Errorf("%s: IsControl inconsistent", op)
+		}
+		if op.WritesInt() && op.WritesFP() {
+			t.Errorf("%s: writes both register files", op)
+		}
+	}
+}
+
+func TestOpNamesUnique(t *testing.T) {
+	seen := make(map[string]Op)
+	for op := Op(0); op < Op(NumOps); op++ {
+		name := op.Name()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes %d and %d share mnemonic %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+}
+
+// randInst produces a random, encodable instruction.
+func randInst(r *rand.Rand) Inst {
+	op := Op(r.Intn(NumOps))
+	inst := Inst{Op: op}
+	if op.RdClass() != RegNone {
+		inst.Rd = Reg(r.Intn(NumRegs))
+	}
+	if op.Rs1Class() != RegNone {
+		inst.Rs1 = Reg(r.Intn(NumRegs))
+	}
+	if op.Rs2Class() != RegNone {
+		inst.Rs2 = Reg(r.Intn(NumRegs))
+	}
+	if op == LIMM {
+		inst.Imm = int64(r.Uint64())
+	} else if op.HasImm() {
+		inst.Imm = r.Int63n(immMax-immMin) + immMin
+	}
+	return inst
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := randInst(r)
+		buf, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		if len(buf) != EncodedLen(in) {
+			t.Fatalf("%v: encoded %d bytes, EncodedLen says %d", in, len(buf), EncodedLen(in))
+		}
+		out, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: decode consumed %d of %d bytes", in, n, len(buf))
+		}
+		// Normalize: unused fields decode as zero.
+		want := in
+		if !want.Op.HasImm() {
+			want.Imm = 0
+		}
+		if out != want {
+			t.Fatalf("round trip mismatch: in=%+v out=%+v", want, out)
+		}
+	}
+}
+
+func TestEncodeDecodeProgramRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	prog := make([]Inst, 500)
+	for i := range prog {
+		prog[i] = randInst(r)
+		if !prog[i].Op.HasImm() {
+			prog[i].Imm = 0
+		}
+	}
+	image, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prog) {
+		t.Fatalf("got %d instructions back, want %d", len(back), len(prog))
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Fatalf("instruction %d: got %+v want %+v", i, back[i], prog[i])
+		}
+	}
+}
+
+func TestEncodeImmRange(t *testing.T) {
+	if _, err := Encode(nil, Inst{Op: ADDI, Rd: 1, Rs1: 1, Imm: immMax}); err != nil {
+		t.Errorf("imm at max should encode: %v", err)
+	}
+	if _, err := Encode(nil, Inst{Op: ADDI, Rd: 1, Rs1: 1, Imm: immMax + 1}); err == nil {
+		t.Error("imm above max should fail")
+	}
+	if _, err := Encode(nil, Inst{Op: ADDI, Rd: 1, Rs1: 1, Imm: immMin}); err != nil {
+		t.Errorf("imm at min should encode: %v", err)
+	}
+	if _, err := Encode(nil, Inst{Op: ADDI, Rd: 1, Rs1: 1, Imm: immMin - 1}); err == nil {
+		t.Error("imm below min should fail")
+	}
+	// LIMM takes any 64-bit literal.
+	if _, err := Encode(nil, Inst{Op: LIMM, Rd: 1, Imm: -1}); err != nil {
+		t.Errorf("limm with full-width literal should encode: %v", err)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(nil, Inst{Op: Op(200)}); err == nil {
+		t.Error("invalid opcode should fail to encode")
+	}
+	if _, err := Encode(nil, Inst{Op: ADD, Rd: NumRegs}); err == nil {
+		t.Error("out-of-range register should fail to encode")
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer should fail to decode")
+	}
+	bad := make([]byte, 8)
+	bad[0] = 250 // invalid opcode
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("invalid opcode should fail to decode")
+	}
+	// LIMM header with missing literal word.
+	buf, err := Encode(nil, Inst{Op: LIMM, Rd: 3, Imm: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(buf[:8]); err == nil {
+		t.Error("truncated limm should fail to decode")
+	}
+}
+
+// Property: the sign-extension performed during decode is the identity on
+// the encodable range.
+func TestImmSignExtensionProperty(t *testing.T) {
+	f := func(raw int64) bool {
+		imm := raw % (immMax + 1)
+		inst := Inst{Op: ADDI, Rd: 5, Rs1: 6, Imm: imm}
+		buf, err := Encode(nil, inst)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decode(buf)
+		return err == nil && out.Imm == imm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add x1, x2, x3"},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -4}, "addi x1, x2, -4"},
+		{Inst{Op: LIMM, Rd: 7, Imm: 0x10}, "limm x7, 0x10"},
+		{Inst{Op: LD, Rd: 4, Rs1: 5, Imm: 16}, "ld x4, 16(x5)"},
+		{Inst{Op: ST, Rs1: 5, Rs2: 6, Imm: -8}, "st x6, -8(x5)"},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 32}, "beq x1, x2, 32"},
+		{Inst{Op: JAL, Rd: 31, Imm: 100}, "jal x31, 100"},
+		{Inst{Op: JALR, Rd: 0, Rs1: 31}, "jalr x0, x31, 0"},
+		{Inst{Op: FADD, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+		{Inst{Op: FLD, Rd: 2, Rs1: 9, Imm: 8}, "fld f2, 8(x9)"},
+		{Inst{Op: FSD, Rs1: 9, Rs2: 2, Imm: 8}, "fsd f2, 8(x9)"},
+		{Inst{Op: FCVTLD, Rd: 3, Rs1: 4}, "fcvt.l.d x3, f4"},
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.inst.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.inst, got, c.want)
+		}
+	}
+}
+
+func TestDisassemblyCoversAllOps(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for op := Op(0); op < Op(NumOps); op++ {
+		inst := randInst(r)
+		inst.Op = op
+		s := inst.String()
+		if s == "" || strings.Contains(s, "op(") {
+			t.Errorf("%s: bad disassembly %q", op.Name(), s)
+		}
+		if !strings.HasPrefix(s, op.Name()) {
+			t.Errorf("%s: disassembly %q does not start with mnemonic", op.Name(), s)
+		}
+	}
+}
+
+func TestOpSize(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		want := int64(8)
+		if op == LIMM {
+			want = 16
+		}
+		if got := OpSize(op); got != want {
+			t.Errorf("OpSize(%s) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic,
+// and anything it accepts must re-encode to the same bytes.
+func FuzzDecode(f *testing.F) {
+	seed, _ := Encode(nil, Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3})
+	f.Add(seed)
+	limm, _ := Encode(nil, Inst{Op: LIMM, Rd: 7, Imm: -12345})
+	f.Add(limm)
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Unused fields are don't-care bits on decode, so raw bytes need
+		// not round-trip; the decoded *instruction* must be a fixed
+		// point: Decode(Encode(Decode(x))) == Decode(x).
+		back, err := Encode(nil, inst)
+		if err != nil {
+			t.Fatalf("decoded instruction %v does not re-encode: %v", inst, err)
+		}
+		if len(back) != n {
+			t.Fatalf("decode consumed %d bytes but re-encoding is %d", n, len(back))
+		}
+		again, n2, err := Decode(back)
+		if err != nil {
+			t.Fatalf("re-encoded bytes fail to decode: %v", err)
+		}
+		if n2 != n || again != inst {
+			t.Fatalf("not a fixed point: %+v -> %+v", inst, again)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package oracle
+
+// StreamAnalyzer measures partial value locality in a value *stream*
+// (memory addresses or load/store data), rather than in a live-register
+// snapshot: an element is covered if its high 64−D bits match one of the
+// last Window elements. This backs the paper's §6 observation that
+// "both addresses and data have considerable partial value locality"
+// exploitable in the memory hierarchy.
+type StreamAnalyzer struct {
+	// D is the number of low-order bits ignored by the similarity
+	// relation; Window is how many recent elements are searched.
+	D      int
+	Window int
+
+	ring    []uint64
+	pos     int
+	filled  bool
+	total   uint64
+	covered uint64
+}
+
+// NewStreamAnalyzer returns an analyzer for (64−d)-similarity over a
+// sliding window of the given size.
+func NewStreamAnalyzer(d, window int) *StreamAnalyzer {
+	if window <= 0 {
+		window = 64
+	}
+	return &StreamAnalyzer{D: d, Window: window, ring: make([]uint64, 0, window)}
+}
+
+// Note records one stream element.
+func (s *StreamAnalyzer) Note(v uint64) {
+	key := v >> uint(s.D)
+	s.total++
+	for _, k := range s.ring {
+		if k == key {
+			s.covered++
+			break
+		}
+	}
+	if len(s.ring) < s.Window {
+		s.ring = append(s.ring, key)
+		return
+	}
+	s.ring[s.pos] = key
+	s.pos = (s.pos + 1) % s.Window
+}
+
+// Total returns the number of elements observed.
+func (s *StreamAnalyzer) Total() uint64 { return s.total }
+
+// Coverage returns the fraction of elements whose high bits matched a
+// recent element.
+func (s *StreamAnalyzer) Coverage() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.covered) / float64(s.total)
+}
+
+// Merge folds another analyzer's counts into s (window contents are not
+// merged; use per-workload analyzers and merge at reporting time).
+func (s *StreamAnalyzer) Merge(o *StreamAnalyzer) {
+	s.total += o.total
+	s.covered += o.covered
+}

@@ -1,0 +1,759 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"carf/internal/cache"
+	"carf/internal/isa"
+	"carf/internal/predictor"
+	"carf/internal/regfile"
+	"carf/internal/vm"
+)
+
+const never = int64(math.MaxInt64 / 2)
+
+// srcRef names one source operand: a physical tag in the integer or FP
+// file. tag < 0 means the operand does not exist (immediate / x0).
+type srcRef struct {
+	tag int
+	fp  bool
+}
+
+// dynInst is one in-flight dynamic instruction.
+type dynInst struct {
+	seq  uint64
+	pc   uint64
+	inst isa.Inst
+	eff  vm.Effect
+
+	srcs    [2]srcRef
+	cluster uint8
+	hasDest bool
+	destFP  bool
+	destTag int
+	oldTag  int // previous mapping of the destination logical register
+
+	isLoad, isStore, isMem bool
+
+	fetchC   int64
+	renameC  int64
+	issued   bool
+	issueC   int64
+	execDone int64
+	wbDone   int64 // valid once wbOK
+	wbOK     bool
+	wbStall  int64 // cycles spent in Recovery State
+
+	memLat int // D-cache latency, recorded in program order at fetch
+
+	blocksFetch bool // mispredicted: fetch waits for resolution
+	mispred     bool // mispredicted (either recovery mode)
+	phantom     bool // wrong-path instruction, squashed at resolution
+	committed   bool
+}
+
+// Classifier is implemented by register file models that can type a
+// value (the content-aware file); used for the Table 4 distribution.
+type Classifier interface {
+	Classify(v uint64) regfile.ValueType
+}
+
+// LiveSampler receives periodic snapshots of the live integer register
+// values (the Figure 1/2 oracle).
+type LiveSampler interface {
+	Sample(values []uint64)
+}
+
+// CPU is one simulated hardware context bound to a program and an
+// integer register file model.
+type CPU struct {
+	cfg   Config
+	mach  *vm.Machine
+	model regfile.Model
+
+	hier   *cache.Hierarchy
+	gshare *predictor.Gshare
+	btb    *predictor.BTB
+	ras    *predictor.RAS
+
+	// Rename state.
+	intMap    [isa.NumRegs]int
+	fpMap     [isa.NumRegs]int
+	retireMap [isa.NumRegs]int
+	fpFree    []int
+
+	// Per-tag scoreboard (integer file, indexed by tag).
+	intDone  []int64 // producer execute-complete cycle (never if unissued)
+	intWB    []int64 // cycle after which the RF holds the value
+	intLive  []bool
+	intValue []uint64
+	intWrote []bool
+
+	// Per-tag scoreboard (FP file).
+	fpDone []int64
+	fpWB   []int64
+	fpLive []bool
+
+	// Machine state.
+	now      int64
+	seq      uint64
+	rob      []*dynInst
+	intIQ    []*dynInst
+	fpIQ     []*dynInst
+	front    []*dynInst
+	lsq      []*dynInst // in-flight memory operations, program order
+	haltSeen bool
+	done     bool
+
+	fetchResume   int64    // fetch produces nothing before this cycle
+	fetchBlock    *dynInst // unresolved mispredicted control instruction
+	lastFetchLine uint64   // I-cache line charged for the current group
+
+	probeTag   int // tag reserved by the dispatch-readiness probe
+	probeValid bool
+
+	wrong *wrongState // in-flight wrong-path episode (Config.WrongPath)
+
+	commitsInInterval int
+	lastCommitCycle   int64
+
+	readStages  int
+	writeStages int
+	bypassDepth int
+
+	// Per-cycle register file port budgets (Config.PortContention).
+	readPorts  int
+	writePorts int
+	readsUsed  int
+	writesUsed int
+
+	// Value-type clustering (Config.Clusters).
+	clusters   int
+	tagCluster []uint8
+	steerNext  uint8
+
+	sampler      LiveSampler
+	samplePeriod int64
+	tracer       Tracer
+
+	// issueHold asks this context to skip issue for the cycle (SMT
+	// thread-priority policies).
+	issueHold bool
+	// longOwned counts this context's live long-typed registers in the
+	// (possibly shared) integer file.
+	longOwned int
+
+	stats Stats
+}
+
+// Stats aggregates run-level measurements.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+
+	// Integer register file operand traffic (Table 2).
+	IntOperands      uint64
+	BypassedOperands uint64
+
+	// Source-operand type combinations (Table 4), content-aware runs
+	// only. Indexed [simple|short|long][simple|short|long], folded so
+	// that [a][b] with a<=b holds the count.
+	OperandCombos [3][3]uint64
+
+	// Control flow.
+	Branches        uint64
+	Mispredicts     uint64
+	IndirectResolve uint64 // JALR redirects resolved at execute
+	FetchBubbles    uint64 // decode-redirect bubble cycles (BTB misses)
+
+	// Value-type clustering (Config.Clusters = 2).
+	CrossClusterOps uint64 // operands forwarded between clusters
+
+	// Wrong-path mode (Config.WrongPath).
+	WrongPathFetched  uint64 // phantom instructions fetched
+	WrongPathSquashed uint64 // phantom instructions squashed
+	Squashes          uint64 // squash events (resolved mispredicts)
+
+	// Structural stalls.
+	PortStallCycles     uint64 // register file port contention events
+	RenameStallCycles   uint64 // no ROB/IQ/LSQ/tag available
+	LongStallCycles     uint64 // issue stalled by long-file pressure
+	RecoveryStallCycles uint64 // write-back Recovery State retries
+	ForcedSpills        uint64 // hard pseudo-deadlock spills
+
+	// Verification.
+	ValueMismatches uint64 // RF reconstruction disagreed with the oracle
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// BypassRate returns the fraction of integer operands served by the
+// bypass network instead of a register file read (Table 2).
+func (s Stats) BypassRate() float64 {
+	if s.IntOperands == 0 {
+		return 0
+	}
+	return float64(s.BypassedOperands) / float64(s.IntOperands)
+}
+
+// New builds a CPU running prog with the given integer register file
+// organization.
+func New(cfg Config, prog *vm.Program, model regfile.Model) *CPU {
+	c := &CPU{
+		cfg:    cfg,
+		mach:   vm.New(prog),
+		model:  model,
+		hier:   cache.NewHierarchy(cfg.Hierarchy),
+		gshare: predictor.NewGshare(cfg.Gshare),
+		btb:    predictor.NewBTB(cfg.BTBEntries),
+		ras:    predictor.NewRAS(cfg.RASDepth),
+	}
+	c.lastFetchLine = ^uint64(0)
+	c.readStages = model.ReadStages()
+	c.writeStages = model.WriteStages()
+	c.bypassDepth = cfg.BypassDepth
+	if c.bypassDepth == 0 {
+		c.bypassDepth = c.writeStages
+	}
+	c.samplePeriod = int64(cfg.SamplePeriod)
+	if cfg.PortContention {
+		// Every access goes through the model's first array (the whole
+		// file conventionally; the Simple file in the content-aware
+		// organization, §3.1), so its ports gate the bandwidth.
+		spec := model.Files()[0].Spec
+		c.readPorts, c.writePorts = spec.ReadPorts, spec.WritePorts
+	}
+
+	c.clusters = cfg.Clusters
+	if c.clusters < 1 {
+		c.clusters = 1
+	}
+
+	n := model.NumTags()
+	c.tagCluster = make([]uint8, n)
+	c.intDone = make([]int64, n)
+	c.intWB = make([]int64, n)
+	c.intLive = make([]bool, n)
+	c.intValue = make([]uint64, n)
+	c.intWrote = make([]bool, n)
+
+	c.fpDone = make([]int64, cfg.NumFPRegs)
+	c.fpWB = make([]int64, cfg.NumFPRegs)
+	c.fpLive = make([]bool, cfg.NumFPRegs)
+	c.fpFree = make([]int, 0, cfg.NumFPRegs)
+	for i := cfg.NumFPRegs - 1; i >= 0; i-- {
+		c.fpFree = append(c.fpFree, i)
+	}
+
+	// Architectural state occupies physical registers from cycle zero.
+	for r := 0; r < isa.NumRegs; r++ {
+		tag, ok := model.Alloc()
+		if !ok {
+			panic("pipeline: register file too small for architectural state")
+		}
+		v := c.mach.X[r]
+		model.ForceWrite(tag, v)
+		c.intMap[r], c.retireMap[r] = tag, tag
+		c.intDone[tag], c.intWB[tag] = -1000, -1000
+		c.intLive[tag], c.intWrote[tag] = true, true
+		c.intValue[tag] = v
+
+		ftag := c.allocFP()
+		c.fpMap[r] = ftag
+		c.fpDone[ftag], c.fpWB[ftag] = -1000, -1000
+	}
+	return c
+}
+
+// SetSampler installs a live-value sampler invoked every period cycles.
+func (c *CPU) SetSampler(s LiveSampler, period int) {
+	c.sampler = s
+	c.samplePeriod = int64(period)
+}
+
+// Model returns the integer register file model in use.
+func (c *CPU) Model() regfile.Model { return c.model }
+
+// Hierarchy exposes the memory system (stats).
+func (c *CPU) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Gshare exposes the branch predictor (stats).
+func (c *CPU) Gshare() *predictor.Gshare { return c.gshare }
+
+func (c *CPU) allocFP() int {
+	if len(c.fpFree) == 0 {
+		return -1
+	}
+	t := c.fpFree[len(c.fpFree)-1]
+	c.fpFree = c.fpFree[:len(c.fpFree)-1]
+	c.fpLive[t] = true
+	return t
+}
+
+func (c *CPU) freeFP(tag int) {
+	c.fpLive[tag] = false
+	c.fpDone[tag], c.fpWB[tag] = never, never
+	c.fpFree = append(c.fpFree, tag)
+}
+
+// Run simulates until the program's HALT commits (or the instruction
+// budget is exhausted) and returns the statistics.
+func (c *CPU) Run() (Stats, error) {
+	const idleLimit = 100000
+	var idle int64
+	lastInsts := uint64(0)
+	for !c.done {
+		c.cycle()
+		if c.stats.Instructions == lastInsts {
+			idle++
+			if idle > idleLimit {
+				return c.stats, fmt.Errorf("pipeline: no commit progress for %d cycles at cycle %d (pc %#x)", idleLimit, c.now, c.mach.PC)
+			}
+		} else {
+			idle = 0
+			lastInsts = c.stats.Instructions
+		}
+		if c.cfg.MaxInstructions > 0 && c.stats.Instructions >= c.cfg.MaxInstructions {
+			break
+		}
+	}
+	return c.stats, nil
+}
+
+// Stats returns the statistics accumulated so far.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// cycle advances the machine one clock. Stages run in reverse pipeline
+// order so same-cycle structural hazards resolve like hardware.
+func (c *CPU) cycle() {
+	c.readsUsed, c.writesUsed = 0, 0
+	c.commit()
+	if c.done {
+		return
+	}
+	c.writeback()
+	c.maybeSquash()
+	c.issue()
+	c.rename()
+	c.fetch()
+	if c.sampler != nil && c.samplePeriod > 0 && c.now%c.samplePeriod == 0 {
+		c.sampleLive()
+	}
+	if f, ok := c.model.(liveLongSampler); ok && c.now%128 == 0 {
+		f.SampleLiveLong()
+	}
+	c.now++
+	c.stats.Cycles++
+}
+
+type liveLongSampler interface{ SampleLiveLong() }
+
+func (c *CPU) sampleLive() {
+	values := make([]uint64, 0, len(c.intValue))
+	for tag := range c.intValue {
+		if c.intLive[tag] && c.intWrote[tag] && c.intWB[tag] <= c.now {
+			values = append(values, c.intValue[tag])
+		}
+	}
+	c.sampler.Sample(values)
+}
+
+// ---------- Commit ----------
+
+func (c *CPU) commit() {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		in := c.rob[0]
+		if !in.wbOK || in.wbDone >= c.now {
+			return
+		}
+		c.assertNoPhantomCommit(in)
+		c.rob = c.rob[1:]
+		in.committed = true
+		c.stats.Instructions++
+		c.lastCommitCycle = c.now
+		if c.tracer != nil {
+			c.tracer.Trace(TraceEvent{
+				Seq: in.seq, PC: in.pc, Inst: in.inst,
+				Fetch: in.fetchC, Rename: in.renameC, Issue: in.issueC,
+				ExecDone: in.execDone, WBDone: in.wbDone, Commit: c.now,
+				Mispredicted: in.mispred,
+			})
+		}
+
+		if in.isMem {
+			c.removeLSQ(in)
+		}
+
+		if in.hasDest {
+			if in.destFP {
+				if in.oldTag >= 0 {
+					c.freeFP(in.oldTag)
+				}
+			} else {
+				c.retireMap[in.inst.Rd] = in.destTag
+				if in.oldTag >= 0 {
+					if c.model.TypeOf(in.oldTag) == regfile.TypeLong {
+						c.longOwned--
+					}
+					c.model.Free(in.oldTag)
+					c.intLive[in.oldTag] = false
+					c.intWrote[in.oldTag] = false
+					c.intDone[in.oldTag], c.intWB[in.oldTag] = never, never
+				}
+			}
+		}
+
+		c.commitsInInterval++
+		if c.commitsInInterval >= c.cfg.ROBSize {
+			c.commitsInInterval = 0
+			arch := make([]int, 0, isa.NumRegs)
+			for _, t := range c.retireMap {
+				arch = append(arch, t)
+			}
+			c.model.OnRobInterval(arch)
+		}
+
+		if in.eff.Halt {
+			c.done = true
+			return
+		}
+	}
+}
+
+func (c *CPU) removeLSQ(in *dynInst) {
+	for i, m := range c.lsq {
+		if m == in {
+			c.lsq = append(c.lsq[:i], c.lsq[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------- Write-back ----------
+
+func (c *CPU) writeback() {
+	// Attempt write-back for every executed, un-written instruction in
+	// the ROB. Only destinations consume write-back slots; the loop is
+	// bounded by the ROB size.
+	for _, in := range c.rob {
+		if in.wbOK || !in.issued || in.execDone >= c.now {
+			continue
+		}
+		if !in.hasDest {
+			in.wbOK = true
+			in.wbDone = in.execDone // control/store: complete at execute
+			continue
+		}
+		if in.destFP {
+			in.wbOK = true
+			in.wbDone = in.execDone + int64(1) // single-stage FP write-back
+			c.fpWB[in.destTag] = in.wbDone
+			continue
+		}
+		if c.writePorts > 0 && c.writesUsed >= c.writePorts {
+			// Out of write ports this cycle; the result retries.
+			c.stats.PortStallCycles++
+			continue
+		}
+		if c.model.TryWrite(in.destTag, in.eff.RdValue) {
+			c.writesUsed++
+			if c.model.TypeOf(in.destTag) == regfile.TypeLong {
+				c.longOwned++
+			}
+			in.wbOK = true
+			in.wbDone = in.execDone + int64(c.writeStages)
+			if in.wbDone < c.now {
+				in.wbDone = c.now // recovery-delayed writes land late
+			}
+			c.intWB[in.destTag] = in.wbDone
+			c.intWrote[in.destTag] = true
+			continue
+		}
+		// Recovery State: no free long register. Retry every cycle;
+		// after DeadlockSpillAfter cycles at the ROB head, spill.
+		in.wbStall++
+		c.stats.RecoveryStallCycles++
+		if c.rob[0] == in && in.wbStall > int64(c.cfg.DeadlockSpillAfter) {
+			c.model.ForceWrite(in.destTag, in.eff.RdValue)
+			c.stats.ForcedSpills++
+			in.wbOK = true
+			in.wbDone = c.now + int64(c.writeStages)
+			c.intWB[in.destTag] = in.wbDone
+			c.intWrote[in.destTag] = true
+		}
+	}
+}
+
+// ---------- Issue / execute ----------
+
+// operandStatus reports whether a source is available to an instruction
+// issuing this cycle, and whether it arrives through the bypass network.
+// The register file supports write-then-read within a cycle (standard
+// internal forwarding), so readiness is gated by the expected write
+// completion (execDone + write stages); a Recovery-State-delayed write
+// is at most optimistic by the stall length, which the issue stall of
+// §3.2 makes rare.
+func (c *CPU) operandStatus(s srcRef, cluster uint8) (ready, viaBypass, crossed bool) {
+	var done, wb int64
+	if s.fp {
+		done = c.fpDone[s.tag]
+		wb = done + 1
+		if w := c.fpWB[s.tag]; w < wb {
+			wb = w
+		}
+	} else {
+		done = c.intDone[s.tag]
+		wb = done + int64(c.writeStages)
+		if w := c.intWB[s.tag]; w < wb {
+			wb = w
+		}
+		if c.clusters > 1 && c.tagCluster[s.tag] != cluster {
+			// Inter-cluster forwarding adds one cycle (§6).
+			done++
+			wb++
+			crossed = true
+		}
+	}
+	r := int64(c.readStages)
+	if done > c.now+r {
+		return false, false, crossed // producer result not catchable yet
+	}
+	gap := c.now + r + 1 - done
+	if wb <= c.now+r {
+		// In the register file by the time the read stages complete.
+		// The most recent results still ride the bypass in hardware.
+		if gap <= int64(c.bypassDepth) {
+			return true, true, crossed
+		}
+		return true, false, crossed
+	}
+	if gap <= int64(c.bypassDepth) {
+		return true, true, crossed
+	}
+	return false, false, crossed // bypass window missed, RF not yet written
+}
+
+// loadBlocked reports whether an older overlapping store delays the
+// load. forwarded is true when the value comes from the store queue.
+func (c *CPU) loadBlocked(ld *dynInst) (blocked, forwarded bool) {
+	lo, hi := ld.eff.Addr, ld.eff.Addr+uint64(ld.eff.Size)
+	for i := len(c.lsq) - 1; i >= 0; i-- {
+		st := c.lsq[i]
+		if st.seq >= ld.seq || !st.isStore {
+			continue
+		}
+		sLo, sHi := st.eff.Addr, st.eff.Addr+uint64(st.eff.Size)
+		if lo < sHi && sLo < hi {
+			// Youngest older overlapping store.
+			if !st.issued || st.execDone > c.now+int64(c.readStages) {
+				return true, false
+			}
+			return false, true
+		}
+	}
+	return false, false
+}
+
+func (c *CPU) issue() {
+	// §3.2 pseudo-deadlock prevention: stall issue while the Long file
+	// is nearly exhausted. The oldest instruction still issues so that
+	// commits keep draining and freeing Long entries (otherwise the
+	// prevention itself could deadlock the machine).
+	onlyHead := false
+	if c.issueHold {
+		c.stats.LongStallCycles++
+		onlyHead = true
+	}
+	if c.model.LongStall(c.cfg.longStallThreshold()) {
+		c.stats.LongStallCycles++
+		onlyHead = true
+	}
+	issued := 0
+	intFU := c.cfg.IntUnits
+	fpFU := c.cfg.FPUnits
+	dports := c.cfg.DCachePorts
+
+	intPool := []int{intFU}
+	if c.clusters == 2 {
+		intPool = []int{intFU / 2, intFU - intFU/2}
+	}
+	fpPool := []int{fpFU}
+	c.issueQueue(&c.intIQ, &issued, intPool, &dports, onlyHead)
+	c.issueQueue(&c.fpIQ, &issued, fpPool, &dports, onlyHead)
+}
+
+func (c *CPU) issueQueue(queue *[]*dynInst, issued *int, fuPool []int, dports *int, onlyHead bool) {
+	q := *queue
+	kept := q[:0]
+	for _, in := range q {
+		if in.issued {
+			continue
+		}
+		if onlyHead && (len(c.rob) == 0 || c.rob[0] != in) {
+			kept = append(kept, in)
+			continue
+		}
+		fu := &fuPool[int(in.cluster)%len(fuPool)]
+		if *issued >= c.cfg.IssueWidth || *fu <= 0 || !c.tryIssue(in, dports) {
+			kept = append(kept, in)
+			continue
+		}
+		*issued++
+		*fu--
+	}
+	*queue = kept
+}
+
+// tryIssue issues in if all its operands and structural resources are
+// available this cycle.
+func (c *CPU) tryIssue(in *dynInst, dports *int) bool {
+	if in.isMem && *dports <= 0 {
+		return false
+	}
+	var forwarded bool
+	if in.isLoad {
+		blocked, fwd := c.loadBlocked(in)
+		if blocked {
+			return false
+		}
+		forwarded = fwd
+	}
+	type opRead struct {
+		s      srcRef
+		bypass bool
+	}
+	var reads [2]opRead
+	nReads := 0
+	rfReads := 0
+	crossings := 0
+	for _, s := range in.srcs {
+		if s.tag < 0 {
+			continue
+		}
+		ready, bypass, crossed := c.operandStatus(s, in.cluster)
+		if !ready {
+			return false
+		}
+		if !bypass && !s.fp {
+			rfReads++
+		}
+		if crossed {
+			crossings++
+		}
+		reads[nReads] = opRead{s, bypass}
+		nReads++
+	}
+	if c.readPorts > 0 && c.readsUsed+rfReads > c.readPorts {
+		// Not enough read ports left this cycle.
+		c.stats.PortStallCycles++
+		return false
+	}
+	c.readsUsed += rfReads
+	c.stats.CrossClusterOps += uint64(crossings)
+
+	// Issue accepted: account operand reads and schedule execution.
+	for i := 0; i < nReads; i++ {
+		rd := reads[i]
+		if rd.s.fp {
+			continue // FP file traffic is outside the evaluation
+		}
+		c.stats.IntOperands++
+		if rd.bypass {
+			c.stats.BypassedOperands++
+		} else {
+			c.model.Read(rd.s.tag)
+			c.verifyRead(rd.s.tag)
+		}
+	}
+	c.recordOperandCombo(in)
+
+	lat := int64(c.cfg.IntLatency)
+	if in.inst.Op.Class() == isa.ClassFPU {
+		lat = int64(c.cfg.FPLatency)
+	}
+	if in.isLoad {
+		*dports--
+		mem := int64(1)
+		if !forwarded {
+			mem = int64(in.memLat)
+		}
+		lat = 1 + mem // AGU + memory
+	}
+	if in.isStore {
+		// Address generation; the write drains through the store
+		// buffer, so a (fetch-time recorded) miss does not stall the
+		// pipeline, but the store still claims a cache port.
+		*dports--
+		lat = 1
+	}
+
+	in.issued = true
+	in.issueC = c.now
+	in.execDone = c.now + int64(c.readStages) + lat
+	if in.hasDest {
+		if in.destFP {
+			c.fpDone[in.destTag] = in.execDone
+		} else {
+			c.intDone[in.destTag] = in.execDone
+		}
+	}
+	if in.isMem {
+		// §3.2: load/store effective addresses may be installed in the
+		// Short file, in parallel with the ALU/AGU stage.
+		c.model.NoteAddress(in.eff.Addr)
+	}
+	if in.blocksFetch {
+		// Fetch restarts once the branch resolves in execute.
+		resume := in.execDone + 1
+		if resume > c.fetchResume {
+			c.fetchResume = resume
+		}
+		c.fetchBlock = nil
+	}
+	return true
+}
+
+// verifyRead checks the register file reconstruction against the
+// functional oracle (a safety net over the content-aware encodings).
+func (c *CPU) verifyRead(tag int) {
+	v, ok := c.model.ReadValue(tag)
+	if !ok {
+		return // conventional files may not retain values pre-write
+	}
+	if c.intWrote[tag] && v != c.intValue[tag] {
+		c.stats.ValueMismatches++
+	}
+}
+
+// recordOperandCombo folds the instruction's integer source value types
+// into the Table 4 histogram (content-aware runs only).
+func (c *CPU) recordOperandCombo(in *dynInst) {
+	cl, ok := c.model.(Classifier)
+	if !ok {
+		return
+	}
+	var types []regfile.ValueType
+	for _, s := range in.srcs {
+		if s.tag < 0 || s.fp {
+			continue
+		}
+		types = append(types, cl.Classify(c.intValue[s.tag]))
+	}
+	switch len(types) {
+	case 1:
+		c.stats.OperandCombos[types[0]][types[0]]++
+	case 2:
+		a, b := types[0], types[1]
+		if a > b {
+			a, b = b, a
+		}
+		c.stats.OperandCombos[a][b]++
+	}
+}

@@ -1,0 +1,308 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"carf/internal/isa"
+	"carf/internal/regfile"
+)
+
+// ---------- Rename / dispatch ----------
+
+func (c *CPU) rename() {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.front) == 0 {
+			return
+		}
+		in := c.front[0]
+		if in.fetchC+int64(c.cfg.FrontLatency) > c.now {
+			return
+		}
+		if !c.dispatchReady(in) {
+			c.stats.RenameStallCycles++
+			return
+		}
+		c.front = c.front[1:]
+		in.renameC = c.now
+		c.bindSources(in)
+		c.bindDest(in)
+		c.assignCluster(in)
+		if c.wrong != nil && c.wrong.branch == in {
+			// Checkpoint the rename maps at the branch's own rename
+			// point: every older instruction has updated them, no
+			// phantom has yet (they are younger in the FIFO).
+			c.wrong.intMap = c.intMap
+			c.wrong.fpMap = c.fpMap
+		}
+		c.rob = append(c.rob, in)
+		if in.isMem {
+			c.lsq = append(c.lsq, in)
+		}
+		if in.inst.Op.Class() == isa.ClassFPU {
+			c.fpIQ = append(c.fpIQ, in)
+		} else {
+			c.intIQ = append(c.intIQ, in)
+		}
+	}
+}
+
+// dispatchReady checks every structural resource the instruction needs
+// to enter the out-of-order window.
+func (c *CPU) dispatchReady(in *dynInst) bool {
+	if len(c.rob) >= c.cfg.ROBSize {
+		return false
+	}
+	if in.isMem && len(c.lsq) >= c.cfg.LSQSize {
+		return false
+	}
+	if in.inst.Op.Class() == isa.ClassFPU {
+		if len(c.fpIQ) >= c.cfg.FPQueue {
+			return false
+		}
+	} else if len(c.intIQ) >= c.cfg.IntQueue {
+		return false
+	}
+	if in.eff.WritesReg && in.eff.RdClass == isa.RegFP && len(c.fpFree) == 0 {
+		return false
+	}
+	if in.eff.WritesReg && in.eff.RdClass == isa.RegInt && !c.canAllocInt() {
+		return false
+	}
+	return true
+}
+
+// canAllocInt probes the integer tag allocator without consuming a tag.
+func (c *CPU) canAllocInt() bool {
+	tag, ok := c.model.Alloc()
+	if !ok {
+		return false
+	}
+	// Returning the probe tag keeps Alloc/Free balanced; the real
+	// allocation happens immediately afterwards in bindDest.
+	c.probeTag, c.probeValid = tag, true
+	return true
+}
+
+func (c *CPU) bindSources(in *dynInst) {
+	op := in.inst.Op
+	in.srcs[0], in.srcs[1] = srcRef{tag: -1}, srcRef{tag: -1}
+	bind := func(idx int, class isa.RegClass, r isa.Reg) {
+		switch class {
+		case isa.RegInt:
+			if r == isa.Zero {
+				return
+			}
+			in.srcs[idx] = srcRef{tag: c.intMap[r]}
+		case isa.RegFP:
+			in.srcs[idx] = srcRef{tag: c.fpMap[r], fp: true}
+		}
+	}
+	bind(0, op.Rs1Class(), in.inst.Rs1)
+	bind(1, op.Rs2Class(), in.inst.Rs2)
+}
+
+func (c *CPU) bindDest(in *dynInst) {
+	in.oldTag = -1
+	if !in.eff.WritesReg {
+		return
+	}
+	in.hasDest = true
+	if in.eff.RdClass == isa.RegFP {
+		in.destFP = true
+		in.destTag = c.allocFP()
+		in.oldTag = c.fpMap[in.inst.Rd]
+		c.fpMap[in.inst.Rd] = in.destTag
+		c.fpDone[in.destTag], c.fpWB[in.destTag] = never, never
+		return
+	}
+	var tag int
+	if c.probeValid {
+		tag, c.probeValid = c.probeTag, false
+	} else {
+		var ok bool
+		tag, ok = c.model.Alloc()
+		if !ok {
+			panic("pipeline: integer tag allocation failed after probe")
+		}
+	}
+	in.destTag = tag
+	in.oldTag = c.intMap[in.inst.Rd]
+	c.intMap[in.inst.Rd] = tag
+	c.intDone[tag], c.intWB[tag] = never, never
+	c.intLive[tag] = true
+	c.intWrote[tag] = false
+	c.intValue[tag] = in.eff.RdValue // oracle value, visible at WB
+}
+
+// assignCluster steers a renamed instruction to an execution cluster
+// (Config.Clusters = 2): by result value type — simple results to the
+// narrow fast cluster, everything else to the wide one (§6) — or
+// round-robin for the control experiment. Instructions without an
+// integer result follow their first integer source.
+func (c *CPU) assignCluster(in *dynInst) {
+	if c.clusters < 2 {
+		return
+	}
+	if c.cfg.ClusterSteerRoundRobin {
+		in.cluster = c.steerNext
+		c.steerNext ^= 1
+	} else if in.hasDest && !in.destFP {
+		if !c.isSimpleValue(in.eff.RdValue) {
+			in.cluster = 1
+		}
+	} else {
+		in.cluster = 0
+		for _, s := range in.srcs {
+			if s.tag >= 0 && !s.fp {
+				in.cluster = c.tagCluster[s.tag]
+				break
+			}
+		}
+	}
+	if in.hasDest && !in.destFP {
+		c.tagCluster[in.destTag] = in.cluster
+	}
+}
+
+// isSimpleValue applies the steering classifier: the content-aware
+// file's own classification when available, else the simple-value rule
+// at the paper's default width.
+func (c *CPU) isSimpleValue(v uint64) bool {
+	if cl, ok := c.model.(Classifier); ok {
+		return cl.Classify(v) == regfile.TypeSimple
+	}
+	const dn = 20
+	low := v & (1<<dn - 1)
+	return uint64(int64(low<<(64-dn))>>(64-dn)) == v
+}
+
+// ---------- Fetch ----------
+
+func (c *CPU) fetch() {
+	if c.haltSeen || c.fetchBlock != nil || c.now < c.fetchResume {
+		return
+	}
+	if c.wrong != nil {
+		c.fetchWrongPath()
+		return
+	}
+	lineMask := ^(uint64(c.cfg.Hierarchy.L1I.LineBytes) - 1)
+	capacity := 3 * c.cfg.FetchWidth
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.front) >= capacity {
+			return
+		}
+		pc := c.mach.PC
+		if line := pc & lineMask; line != c.lastFetchLine {
+			lat := c.hier.FetchLatency(pc)
+			c.lastFetchLine = line
+			if lat > 1 {
+				// The line arrives after the miss latency; retry then.
+				c.fetchResume = c.now + int64(lat) - 1
+				c.lastFetchLine = ^uint64(0) // re-check on resume
+				return
+			}
+		}
+		inst, eff, err := c.mach.Step()
+		if err != nil {
+			// Programs are validated before simulation; an execution
+			// fault here is a simulator bug.
+			panic(fmt.Sprintf("pipeline: functional execution failed at %#x: %v", pc, err))
+		}
+		in := &dynInst{
+			seq:     c.seq,
+			pc:      pc,
+			inst:    inst,
+			eff:     eff,
+			isLoad:  inst.Op.IsLoad(),
+			isStore: inst.Op.IsStore(),
+			fetchC:  c.now,
+		}
+		in.isMem = in.isLoad || in.isStore
+		if in.isMem {
+			// Data-cache state evolves in program order (deterministic
+			// across register file organizations); the latency recorded
+			// here is charged when the access issues.
+			in.memLat = c.hier.DataLatency(eff.Addr)
+		}
+		c.seq++
+		c.front = append(c.front, in)
+
+		if inst.Op == isa.HALT {
+			c.haltSeen = true
+			return
+		}
+		if !inst.Op.IsControl() {
+			continue
+		}
+		if c.handleControl(in, pc) {
+			return // fetch group ends at a taken/blocking transfer
+		}
+	}
+}
+
+// handleControl applies branch prediction to a fetched control
+// instruction and reports whether the fetch group must end.
+func (c *CPU) handleControl(in *dynInst, pc uint64) bool {
+	op, eff := in.inst.Op, in.eff
+	switch {
+	case op.IsBranch():
+		c.stats.Branches++
+		pred := c.gshare.Predict(pc)
+		c.gshare.Update(pc, eff.Taken)
+		if pred != eff.Taken {
+			c.stats.Mispredicts++
+			in.mispred = true
+			if c.cfg.WrongPath && c.startWrongPath(in, pc) {
+				return true
+			}
+			in.blocksFetch = true
+			c.fetchBlock = in
+			return true
+		}
+		if !eff.Taken {
+			return false // correctly predicted not-taken: keep fetching
+		}
+		c.redirectDirect(pc, eff.NextPC)
+		return true
+
+	case op == isa.JAL:
+		if in.inst.Rd == isa.Reg(31) { // call: remember the return point
+			c.ras.Push(eff.RdValue)
+		}
+		c.redirectDirect(pc, eff.NextPC)
+		return true
+
+	default: // JALR: indirect
+		if in.inst.Rd == isa.Reg(31) {
+			c.ras.Push(eff.RdValue)
+		}
+		isReturn := in.inst.Rd == isa.Zero && in.inst.Rs1 == isa.Reg(31)
+		if isReturn {
+			if tgt, ok := c.ras.Pop(); ok && tgt == eff.NextPC {
+				return true // perfectly predicted return
+			}
+		} else if tgt, ok := c.btb.Lookup(pc); ok && tgt == eff.NextPC {
+			c.btb.Insert(pc, eff.NextPC)
+			return true
+		}
+		c.btb.Insert(pc, eff.NextPC)
+		c.stats.IndirectResolve++
+		in.mispred = true
+		in.blocksFetch = true
+		c.fetchBlock = in
+		return true
+	}
+}
+
+// redirectDirect models the front-end redirect for a taken direct
+// transfer: free with a BTB hit, a decode-computed one-cycle bubble
+// otherwise.
+func (c *CPU) redirectDirect(pc, target uint64) {
+	if tgt, ok := c.btb.Lookup(pc); ok && tgt == target {
+		return
+	}
+	c.btb.Insert(pc, target)
+	c.stats.FetchBubbles++
+	c.fetchResume = c.now + 2
+}

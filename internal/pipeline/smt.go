@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"carf/internal/cache"
+	"carf/internal/regfile"
+	"carf/internal/vm"
+)
+
+// SMT runs two hardware threads that share one integer register file
+// organization and one memory hierarchy (§6 of the paper: the long
+// file's average occupancy is far below its peak, so one content-aware
+// file can feed more than one thread). Pipeline resources are statically
+// partitioned: each thread gets half the widths, queues, and functional
+// units — the simple policy of early SMT designs, sufficient to study
+// register file sharing.
+type SMT struct {
+	threads [2]*CPU
+	cycles  uint64
+	policy  SMTPolicy
+}
+
+// SMTPolicy selects the thread-priority policy (§6: "what are the best
+// thread priority policies for this kind of simultaneous multithreading
+// architecture" — two are implemented).
+type SMTPolicy uint8
+
+const (
+	// PolicyRoundRobin gives both threads their full static partition
+	// every cycle.
+	PolicyRoundRobin SMTPolicy = iota
+	// PolicyLongAware throttles the thread holding more live Long
+	// registers whenever the shared Long file is under pressure,
+	// protecting the other thread from pseudo-deadlock stalls.
+	PolicyLongAware
+)
+
+// String implements fmt.Stringer.
+func (p SMTPolicy) String() string {
+	if p == PolicyLongAware {
+		return "long-aware"
+	}
+	return "round-robin"
+}
+
+// SetPolicy selects the thread-priority policy (before Run).
+func (s *SMT) SetPolicy(p SMTPolicy) { s.policy = p }
+
+// NewSMT builds a two-thread machine running progs against a single
+// shared register file model. cfg describes the whole core; each thread
+// receives half of every partitionable resource.
+func NewSMT(cfg Config, progs [2]*vm.Program, model regfile.Model) *SMT {
+	half := cfg
+	half.FetchWidth = max1(cfg.FetchWidth / 2)
+	half.IssueWidth = max1(cfg.IssueWidth / 2)
+	half.CommitWidth = max1(cfg.CommitWidth / 2)
+	half.ROBSize = max1(cfg.ROBSize / 2)
+	half.IntQueue = max1(cfg.IntQueue / 2)
+	half.FPQueue = max1(cfg.FPQueue / 2)
+	half.LSQSize = max1(cfg.LSQSize / 2)
+	half.IntUnits = max1(cfg.IntUnits / 2)
+	half.FPUnits = max1(cfg.FPUnits / 2)
+	half.DCachePorts = max1(cfg.DCachePorts / 2)
+	half.NumFPRegs = max1(cfg.NumFPRegs / 2)
+
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	s := &SMT{}
+	for i, prog := range progs {
+		cpu := New(half, prog, model)
+		cpu.hier = hier // share the memory system
+		s.threads[i] = cpu
+	}
+	return s
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Thread returns thread i's CPU (stats, machine inspection).
+func (s *SMT) Thread(i int) *CPU { return s.threads[i] }
+
+// Cycles returns the total machine cycles simulated.
+func (s *SMT) Cycles() uint64 { return s.cycles }
+
+// Run simulates until both threads halt and returns their statistics.
+func (s *SMT) Run() ([2]Stats, error) {
+	var out [2]Stats
+	const idleLimit = 200000
+	idle := 0
+	lastTotal := uint64(0)
+	for !s.threads[0].done || !s.threads[1].done {
+		s.applyPolicy()
+		for _, t := range s.threads {
+			if !t.done {
+				t.cycle()
+			}
+		}
+		s.cycles++
+		total := s.threads[0].stats.Instructions + s.threads[1].stats.Instructions
+		if total == lastTotal {
+			idle++
+			if idle > idleLimit {
+				return out, fmt.Errorf("smt: no commit progress for %d cycles", idleLimit)
+			}
+		} else {
+			idle = 0
+			lastTotal = total
+		}
+	}
+	out[0] = s.threads[0].stats
+	out[1] = s.threads[1].stats
+	return out, nil
+}
+
+// applyPolicy sets each thread's issue-hold flag for the coming cycle.
+func (s *SMT) applyPolicy() {
+	t0, t1 := s.threads[0], s.threads[1]
+	t0.issueHold, t1.issueHold = false, false
+	if s.policy != PolicyLongAware {
+		return
+	}
+	// Pressure check against the shared file: hold the hungrier thread.
+	if !t0.model.LongStall(t0.cfg.longStallThreshold() * 2) {
+		return
+	}
+	if t0.longOwned >= t1.longOwned {
+		t0.issueHold = !t0.done && !t1.done
+	} else {
+		t1.issueHold = !t0.done && !t1.done
+	}
+}
+
+// Machine exposes a thread's architectural state for verification.
+func (c *CPU) Machine() *vm.Machine { return c.mach }

@@ -1,0 +1,129 @@
+package regfile
+
+import "testing"
+
+func TestAllocFreeCycle(t *testing.T) {
+	c := NewConventional("t", 4, 2, 2)
+	tags := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		tag, ok := c.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if tags[tag] {
+			t.Fatalf("tag %d allocated twice", tag)
+		}
+		tags[tag] = true
+	}
+	if _, ok := c.Alloc(); ok {
+		t.Error("alloc from empty free list should fail")
+	}
+	for tag := range tags {
+		c.Free(tag)
+	}
+	if c.FreeTags() != 4 {
+		t.Errorf("free tags = %d, want 4", c.FreeTags())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	c := NewConventional("t", 2, 1, 1)
+	tag, _ := c.Alloc()
+	c.Free(tag)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free should panic")
+		}
+	}()
+	c.Free(tag)
+}
+
+func TestReadWriteAccounting(t *testing.T) {
+	c := NewConventional("t", 8, 3, 2)
+	tag, _ := c.Alloc()
+	if !c.TryWrite(tag, 42) {
+		t.Fatal("conventional write should never stall")
+	}
+	if typ := c.Read(tag); typ != TypeNone {
+		t.Errorf("conventional read type = %v", typ)
+	}
+	v, ok := c.ReadValue(tag)
+	if !ok || v != 42 {
+		t.Errorf("ReadValue = %d,%v", v, ok)
+	}
+	files := c.Files()
+	if len(files) != 1 {
+		t.Fatalf("files = %d", len(files))
+	}
+	if files[0].Reads != 1 || files[0].Writes != 1 {
+		t.Errorf("activity = %+v", files[0])
+	}
+	if files[0].Spec.WidthBits != 64 || files[0].Spec.ReadPorts != 3 || files[0].Spec.WritePorts != 2 {
+		t.Errorf("spec = %+v", files[0].Spec)
+	}
+}
+
+func TestReadValueUnwritten(t *testing.T) {
+	c := NewConventional("t", 2, 1, 1)
+	tag, _ := c.Alloc()
+	if _, ok := c.ReadValue(tag); ok {
+		t.Error("unwritten tag should not return a value")
+	}
+	c.Free(tag)
+	if _, ok := c.ReadValue(tag); ok {
+		t.Error("freed tag should not return a value")
+	}
+}
+
+func TestPaperConfigurations(t *testing.T) {
+	b := Baseline()
+	if b.NumTags() != 112 {
+		t.Errorf("baseline entries = %d, want 112", b.NumTags())
+	}
+	spec := b.Files()[0].Spec
+	if spec.ReadPorts != 8 || spec.WritePorts != 6 {
+		t.Errorf("baseline ports = %d/%d, want 8/6", spec.ReadPorts, spec.WritePorts)
+	}
+	u := Unlimited()
+	if u.NumTags() != 160 {
+		t.Errorf("unlimited entries = %d, want 160", u.NumTags())
+	}
+	uspec := u.Files()[0].Spec
+	if uspec.ReadPorts != 16 || uspec.WritePorts != 8 {
+		t.Errorf("unlimited ports = %d/%d, want 16/8", uspec.ReadPorts, uspec.WritePorts)
+	}
+}
+
+func TestConventionalStages(t *testing.T) {
+	c := Baseline()
+	if c.ReadStages() != 1 || c.WriteStages() != 1 {
+		t.Error("conventional file must have single-stage read and write")
+	}
+	if c.LongStall(8) {
+		t.Error("conventional file must never long-stall")
+	}
+}
+
+func TestResetRestoresCapacity(t *testing.T) {
+	c := NewConventional("t", 3, 1, 1)
+	c.Alloc()
+	c.Alloc()
+	c.Read(0)
+	c.Reset()
+	if c.FreeTags() != 3 {
+		t.Errorf("post-reset free tags = %d", c.FreeTags())
+	}
+	if c.Files()[0].Reads != 0 {
+		t.Error("post-reset stats not cleared")
+	}
+}
+
+func TestValueTypeStrings(t *testing.T) {
+	for typ, want := range map[ValueType]string{
+		TypeSimple: "simple", TypeShort: "short", TypeLong: "long", TypeNone: "none",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+}

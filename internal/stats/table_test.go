@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1.0")
+	tb.AddRow("b", "123.456")
+	tb.AddNote("note %d", 7)
+	out := tb.Render()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, two rows, note
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[5], "  note 7") {
+		t.Errorf("note line = %q", lines[5])
+	}
+	// Numeric column right-aligned: both data rows end at same column.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestRenderNoHeader(t *testing.T) {
+	tb := Table{}
+	tb.AddRow("x", "y")
+	out := tb.Render()
+	if strings.Contains(out, "---") {
+		t.Error("separator printed without header")
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tb := Table{Header: []string{"a"}}
+	tb.AddRow("1", "2", "3")
+	out := tb.Render()
+	if !strings.Contains(out, "3") {
+		t.Error("extra cells dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.488) != "48.8%" {
+		t.Errorf("Pct = %q", Pct(0.488))
+	}
+	if F3(1.23456) != "1.235" {
+		t.Errorf("F3 = %q", F3(1.23456))
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("geomean of empty should be 0")
+	}
+	if GeoMean([]float64{2, -1}) != 0 {
+		t.Error("geomean with non-positive input should be 0")
+	}
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean = %v, want 2", got)
+	}
+}

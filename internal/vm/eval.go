@@ -1,0 +1,110 @@
+package vm
+
+import (
+	"math"
+
+	"carf/internal/isa"
+)
+
+// Eval computes the destination value of a register-writing instruction
+// from its source operand raw values (integer values, or IEEE-754 bits
+// for FP operands), without touching any machine state. It exists so the
+// pipeline can produce values for speculatively-fetched wrong-path
+// instructions, which must never execute against the architectural
+// machine. ok is false for loads, stores, control transfers, and
+// instructions without a register result — the caller models those
+// separately.
+//
+// TestEvalMatchesExecute cross-checks every covered opcode against
+// Machine.Execute on random operands.
+func Eval(inst isa.Inst, a, b uint64) (value uint64, ok bool) {
+	fa, fb := f64(a), f64(b)
+	switch inst.Op {
+	case isa.ADD:
+		return a + b, true
+	case isa.SUB:
+		return a - b, true
+	case isa.AND:
+		return a & b, true
+	case isa.OR:
+		return a | b, true
+	case isa.XOR:
+		return a ^ b, true
+	case isa.SLL:
+		return a << (b & 63), true
+	case isa.SRL:
+		return a >> (b & 63), true
+	case isa.SRA:
+		return uint64(int64(a) >> (b & 63)), true
+	case isa.SLT:
+		return b2u(int64(a) < int64(b)), true
+	case isa.SLTU:
+		return b2u(a < b), true
+	case isa.MUL:
+		return a * b, true
+	case isa.MULHU:
+		hi, _ := mul64(a, b)
+		return hi, true
+	case isa.DIV:
+		return divs(a, b), true
+	case isa.REM:
+		return rems(a, b), true
+
+	case isa.ADDI:
+		return a + uint64(inst.Imm), true
+	case isa.ANDI:
+		return a & uint64(inst.Imm), true
+	case isa.ORI:
+		return a | uint64(inst.Imm), true
+	case isa.XORI:
+		return a ^ uint64(inst.Imm), true
+	case isa.SLLI:
+		return a << (uint64(inst.Imm) & 63), true
+	case isa.SRLI:
+		return a >> (uint64(inst.Imm) & 63), true
+	case isa.SRAI:
+		return uint64(int64(a) >> (uint64(inst.Imm) & 63)), true
+	case isa.SLTI:
+		return b2u(int64(a) < inst.Imm), true
+	case isa.SLTIU:
+		return b2u(a < uint64(inst.Imm)), true
+	case isa.LIMM:
+		return uint64(inst.Imm), true
+
+	case isa.FADD:
+		return bits(fa + fb), true
+	case isa.FSUB:
+		return bits(fa - fb), true
+	case isa.FMUL:
+		return bits(fa * fb), true
+	case isa.FDIV:
+		return bits(fa / fb), true
+	case isa.FSQRT:
+		return bits(math.Sqrt(fa)), true
+	case isa.FABS:
+		return bits(math.Abs(fa)), true
+	case isa.FNEG:
+		return bits(-fa), true
+	case isa.FMIN:
+		return bits(math.Min(fa, fb)), true
+	case isa.FMAX:
+		return bits(math.Max(fa, fb)), true
+	case isa.FCVTDL:
+		return bits(float64(int64(a))), true
+	case isa.FCVTLD:
+		return uint64(toInt64(fa)), true
+	case isa.FEQ:
+		return b2u(fa == fb), true
+	case isa.FLT:
+		return b2u(fa < fb), true
+	case isa.FLE:
+		return b2u(fa <= fb), true
+	case isa.FMVXD:
+		return a, true
+	case isa.FMVDX:
+		return a, true
+	}
+	// FMADD reads its destination; loads, stores, control transfers,
+	// NOP, and HALT have no pure register result.
+	return 0, false
+}

@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"fmt"
+
+	"carf/internal/isa"
+)
+
+// Program is an executable R64 image: a list of instructions laid out
+// contiguously from Base, plus initial data segments. Programs are
+// immutable once built; the same Program can back any number of Machines
+// or pipeline simulations.
+type Program struct {
+	Name string
+	Base uint64 // address of the first instruction
+	Code []isa.Inst
+
+	// Data segments copied into memory before execution.
+	Data []Segment
+
+	// InitRegs seeds integer architectural registers before execution
+	// (e.g. the stack pointer). Keys are register numbers.
+	InitRegs map[isa.Reg]uint64
+
+	offsets []uint64 // offsets[i] = byte offset of Code[i] from Base
+	size    uint64   // total code bytes
+	byAddr  map[uint64]int
+}
+
+// Segment is an initialized span of data memory.
+type Segment struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// NewProgram finalizes a program: it computes instruction addresses and
+// the address→index map used by instruction fetch.
+func NewProgram(name string, base uint64, code []isa.Inst, data []Segment, initRegs map[isa.Reg]uint64) *Program {
+	p := &Program{
+		Name:     name,
+		Base:     base,
+		Code:     code,
+		Data:     data,
+		InitRegs: initRegs,
+		offsets:  make([]uint64, len(code)),
+		byAddr:   make(map[uint64]int, len(code)),
+	}
+	var off uint64
+	for i, inst := range code {
+		p.offsets[i] = off
+		p.byAddr[base+off] = i
+		off += uint64(inst.Size())
+	}
+	p.size = off
+	return p
+}
+
+// Entry returns the address of the first instruction.
+func (p *Program) Entry() uint64 { return p.Base }
+
+// CodeSize returns the total encoded code size in bytes.
+func (p *Program) CodeSize() uint64 { return p.size }
+
+// AddrOf returns the address of instruction index i.
+func (p *Program) AddrOf(i int) uint64 { return p.Base + p.offsets[i] }
+
+// At returns the instruction at address addr. ok is false when addr is
+// not the start of an instruction.
+func (p *Program) At(addr uint64) (inst isa.Inst, ok bool) {
+	i, ok := p.byAddr[addr]
+	if !ok {
+		return isa.Inst{}, false
+	}
+	return p.Code[i], true
+}
+
+// IndexOf returns the instruction index at address addr, or -1.
+func (p *Program) IndexOf(addr uint64) int {
+	i, ok := p.byAddr[addr]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Validate checks that every control-transfer target lands on an
+// instruction boundary inside the program. JALR targets are dynamic and
+// cannot be checked statically.
+func (p *Program) Validate() error {
+	for i, inst := range p.Code {
+		if !inst.Op.IsBranch() && inst.Op != isa.JAL {
+			continue
+		}
+		next := p.AddrOf(i) + uint64(inst.Size())
+		target := next + uint64(inst.Imm)
+		if _, ok := p.byAddr[target]; !ok {
+			return fmt.Errorf("program %s: instruction %d (%s) targets %#x, not an instruction boundary",
+				p.Name, i, inst, target)
+		}
+	}
+	return nil
+}
+
+// LoadInto copies the program's data segments into mem.
+func (p *Program) LoadInto(mem *Memory) {
+	for _, seg := range p.Data {
+		mem.StoreBytes(seg.Addr, seg.Bytes)
+	}
+}

@@ -1,0 +1,325 @@
+// Package workload provides the benchmark programs the simulator runs: a
+// small assembler-style program builder and a library of integer and
+// floating-point kernels whose live-value behaviour mirrors the three
+// populations the paper measures — memory addresses sharing high-order
+// bits (short values), small constants and flags (simple values), and
+// high-entropy data such as hashes (long values).
+//
+// Programs use a realistic 64-bit address layout (see the *Base
+// constants) so that pointer values carry non-zero upper bits, exactly
+// the situation that motivates the content-aware organization.
+package workload
+
+import (
+	"fmt"
+
+	"carf/internal/isa"
+	"carf/internal/vm"
+)
+
+// Standard address-space layout. Regions are far apart and have non-zero
+// high-order bits, like a Unix process image on a 64-bit machine.
+const (
+	CodeBase   = 0x0000_0000_0040_0000 // text segment
+	GlobalBase = 0x0000_0000_0060_0000 // globals / static data
+	HeapBase   = 0x0000_5542_1000_0000 // heap (malloc arena)
+	StackBase  = 0x0000_7FFF_F7E0_0000 // stack top (grows down)
+)
+
+// Register conventions used by the kernels.
+const (
+	SP   = isa.Reg(29) // stack pointer
+	GP   = isa.Reg(30) // global pointer
+	Link = isa.Reg(31) // link register
+)
+
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota
+	fixJump
+	fixAbs // LIMM of a label's absolute address
+)
+
+type fixup struct {
+	instIdx int
+	label   string
+	kind    fixupKind
+}
+
+// Builder assembles an R64 program. Emit instructions with the opcode
+// helpers, mark positions with Label, reference labels from branches and
+// jumps, then call Build to resolve offsets and produce an immutable
+// vm.Program.
+type Builder struct {
+	name        string
+	base        uint64
+	insts       []isa.Inst
+	offsets     []uint64
+	size        uint64
+	labels      map[string]uint64 // label -> byte offset from base
+	fixups      []fixup
+	data        []vm.Segment
+	labelTables []labelTable
+	regs        map[isa.Reg]uint64
+	errs        []error
+}
+
+type labelTable struct {
+	addr   uint64
+	labels []string
+}
+
+// NewBuilder returns a builder for a program named name, with code at
+// CodeBase and the stack pointer initialized to StackBase.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		base:   CodeBase,
+		labels: make(map[string]uint64),
+		regs:   map[isa.Reg]uint64{SP: StackBase, GP: GlobalBase},
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("program %s: %s", b.name, fmt.Sprintf(format, args...)))
+}
+
+// emit appends one instruction and tracks its offset.
+func (b *Builder) emit(inst isa.Inst) {
+	if inst.Op.RdClass() == isa.RegInt && inst.Rd == isa.Zero && inst.Op != isa.JALR && inst.Op != isa.JAL {
+		b.errf("instruction %d (%s) writes x0", len(b.insts), inst)
+	}
+	b.insts = append(b.insts, inst)
+	b.offsets = append(b.offsets, b.size)
+	b.size += uint64(inst.Size())
+}
+
+// Label marks the current position. Referencing an already-defined label
+// twice is an error.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errf("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = b.size
+}
+
+// Raw emits a fully-formed instruction verbatim.
+func (b *Builder) Raw(inst isa.Inst) { b.emit(inst) }
+
+// Li loads a 64-bit literal into rd. Small literals still use LIMM: the
+// simulator charges one ALU operation either way.
+func (b *Builder) Li(rd isa.Reg, v int64) { b.emit(isa.Inst{Op: isa.LIMM, Rd: rd, Imm: v}) }
+
+// La loads the address addr into rd.
+func (b *Builder) La(rd isa.Reg, addr uint64) { b.Li(rd, int64(addr)) }
+
+// LiLabel loads the absolute address of a code label into rd (resolved at
+// Build time; used for computed jump tables).
+func (b *Builder) LiLabel(rd isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{instIdx: len(b.insts), label: label, kind: fixAbs})
+	b.emit(isa.Inst{Op: isa.LIMM, Rd: rd})
+}
+
+// R-type ALU helpers.
+
+func (b *Builder) op3(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg)   { b.op3(isa.ADD, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg)   { b.op3(isa.SUB, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 isa.Reg)   { b.op3(isa.AND, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg)    { b.op3(isa.OR, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg)   { b.op3(isa.XOR, rd, rs1, rs2) }
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg)   { b.op3(isa.SLL, rd, rs1, rs2) }
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg)   { b.op3(isa.SRL, rd, rs1, rs2) }
+func (b *Builder) Sra(rd, rs1, rs2 isa.Reg)   { b.op3(isa.SRA, rd, rs1, rs2) }
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg)   { b.op3(isa.SLT, rd, rs1, rs2) }
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg)  { b.op3(isa.SLTU, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg)   { b.op3(isa.MUL, rd, rs1, rs2) }
+func (b *Builder) Mulhu(rd, rs1, rs2 isa.Reg) { b.op3(isa.MULHU, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg)   { b.op3(isa.DIV, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg)   { b.op3(isa.REM, rd, rs1, rs2) }
+
+// Mv copies rs1 into rd.
+func (b *Builder) Mv(rd, rs1 isa.Reg) { b.Addi(rd, rs1, 0) }
+
+// I-type ALU helpers.
+
+func (b *Builder) opImm(op isa.Op, rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64)  { b.opImm(isa.ADDI, rd, rs1, imm) }
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64)  { b.opImm(isa.ANDI, rd, rs1, imm) }
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64)   { b.opImm(isa.ORI, rd, rs1, imm) }
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64)  { b.opImm(isa.XORI, rd, rs1, imm) }
+func (b *Builder) Slli(rd, rs1 isa.Reg, imm int64)  { b.opImm(isa.SLLI, rd, rs1, imm) }
+func (b *Builder) Srli(rd, rs1 isa.Reg, imm int64)  { b.opImm(isa.SRLI, rd, rs1, imm) }
+func (b *Builder) Srai(rd, rs1 isa.Reg, imm int64)  { b.opImm(isa.SRAI, rd, rs1, imm) }
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64)  { b.opImm(isa.SLTI, rd, rs1, imm) }
+func (b *Builder) Sltiu(rd, rs1 isa.Reg, imm int64) { b.opImm(isa.SLTIU, rd, rs1, imm) }
+
+// Memory helpers. Loads name the destination first; stores name the data
+// register first, matching the disassembly.
+
+func (b *Builder) Ld(rd, base isa.Reg, off int64)  { b.opImm(isa.LD, rd, base, off) }
+func (b *Builder) Lw(rd, base isa.Reg, off int64)  { b.opImm(isa.LW, rd, base, off) }
+func (b *Builder) Lwu(rd, base isa.Reg, off int64) { b.opImm(isa.LWU, rd, base, off) }
+func (b *Builder) Lb(rd, base isa.Reg, off int64)  { b.opImm(isa.LB, rd, base, off) }
+func (b *Builder) Lbu(rd, base isa.Reg, off int64) { b.opImm(isa.LBU, rd, base, off) }
+
+func (b *Builder) store(op isa.Op, data, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: op, Rs1: base, Rs2: data, Imm: off})
+}
+
+func (b *Builder) St(data, base isa.Reg, off int64) { b.store(isa.ST, data, base, off) }
+func (b *Builder) Sw(data, base isa.Reg, off int64) { b.store(isa.SW, data, base, off) }
+func (b *Builder) Sb(data, base isa.Reg, off int64) { b.store(isa.SB, data, base, off) }
+
+// Control-flow helpers. Targets are labels, resolved at Build time.
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{instIdx: len(b.insts), label: label, kind: fixBranch})
+	b.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string)  { b.branch(isa.BEQ, rs1, rs2, label) }
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string)  { b.branch(isa.BNE, rs1, rs2, label) }
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string)  { b.branch(isa.BLT, rs1, rs2, label) }
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string)  { b.branch(isa.BGE, rs1, rs2, label) }
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) { b.branch(isa.BLTU, rs1, rs2, label) }
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) { b.branch(isa.BGEU, rs1, rs2, label) }
+
+// Beqz branches to label when rs1 is zero.
+func (b *Builder) Beqz(rs1 isa.Reg, label string) { b.Beq(rs1, isa.Zero, label) }
+
+// Bnez branches to label when rs1 is non-zero.
+func (b *Builder) Bnez(rs1 isa.Reg, label string) { b.Bne(rs1, isa.Zero, label) }
+
+// Jmp jumps unconditionally to label (JAL with the link discarded).
+func (b *Builder) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{instIdx: len(b.insts), label: label, kind: fixJump})
+	b.emit(isa.Inst{Op: isa.JAL, Rd: isa.Zero})
+}
+
+// Call jumps to label, saving the return address in Link.
+func (b *Builder) Call(label string) {
+	b.fixups = append(b.fixups, fixup{instIdx: len(b.insts), label: label, kind: fixJump})
+	b.emit(isa.Inst{Op: isa.JAL, Rd: Link})
+}
+
+// Ret returns through the Link register.
+func (b *Builder) Ret() { b.emit(isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: Link}) }
+
+// Jr jumps to the address in rs1 (computed/indirect jump).
+func (b *Builder) Jr(rs1 isa.Reg) { b.emit(isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: rs1}) }
+
+// Jalr jumps to rs1+imm saving the return address in rd.
+func (b *Builder) Jalr(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// FP helpers.
+
+func (b *Builder) Fld(rd, base isa.Reg, off int64) { b.opImm(isa.FLD, rd, base, off) }
+func (b *Builder) Fsd(data, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.FSD, Rs1: base, Rs2: data, Imm: off})
+}
+func (b *Builder) Fadd(rd, rs1, rs2 isa.Reg)  { b.op3(isa.FADD, rd, rs1, rs2) }
+func (b *Builder) Fsub(rd, rs1, rs2 isa.Reg)  { b.op3(isa.FSUB, rd, rs1, rs2) }
+func (b *Builder) Fmul(rd, rs1, rs2 isa.Reg)  { b.op3(isa.FMUL, rd, rs1, rs2) }
+func (b *Builder) Fdiv(rd, rs1, rs2 isa.Reg)  { b.op3(isa.FDIV, rd, rs1, rs2) }
+func (b *Builder) Fmadd(rd, rs1, rs2 isa.Reg) { b.op3(isa.FMADD, rd, rs1, rs2) }
+func (b *Builder) Fsqrt(rd, rs1 isa.Reg)      { b.op3(isa.FSQRT, rd, rs1, 0) }
+func (b *Builder) Fabs(rd, rs1 isa.Reg)       { b.op3(isa.FABS, rd, rs1, 0) }
+func (b *Builder) Fneg(rd, rs1 isa.Reg)       { b.op3(isa.FNEG, rd, rs1, 0) }
+func (b *Builder) Fmin(rd, rs1, rs2 isa.Reg)  { b.op3(isa.FMIN, rd, rs1, rs2) }
+func (b *Builder) Fmax(rd, rs1, rs2 isa.Reg)  { b.op3(isa.FMAX, rd, rs1, rs2) }
+func (b *Builder) Fcvtdl(rd, rs1 isa.Reg)     { b.op3(isa.FCVTDL, rd, rs1, 0) }
+func (b *Builder) Fcvtld(rd, rs1 isa.Reg)     { b.op3(isa.FCVTLD, rd, rs1, 0) }
+func (b *Builder) Feq(rd, rs1, rs2 isa.Reg)   { b.op3(isa.FEQ, rd, rs1, rs2) }
+func (b *Builder) Flt(rd, rs1, rs2 isa.Reg)   { b.op3(isa.FLT, rd, rs1, rs2) }
+func (b *Builder) Fle(rd, rs1, rs2 isa.Reg)   { b.op3(isa.FLE, rd, rs1, rs2) }
+func (b *Builder) Fmvdx(rd, rs1 isa.Reg)      { b.op3(isa.FMVDX, rd, rs1, 0) }
+func (b *Builder) Fmvxd(rd, rs1 isa.Reg)      { b.op3(isa.FMVXD, rd, rs1, 0) }
+
+// Nop emits a no-op; Halt stops the machine.
+func (b *Builder) Nop()  { b.emit(isa.Inst{Op: isa.NOP}) }
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.HALT}) }
+
+// Data attaches an initialized byte segment.
+func (b *Builder) Data(addr uint64, bytes []byte) {
+	b.data = append(b.data, vm.Segment{Addr: addr, Bytes: bytes})
+}
+
+// Words attaches an initialized segment of little-endian 64-bit words.
+func (b *Builder) Words(addr uint64, words []uint64) {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			buf[8*i+j] = byte(w >> (8 * j))
+		}
+	}
+	b.Data(addr, buf)
+}
+
+// WordsLabels attaches a data segment of 64-bit words holding the
+// absolute addresses of the named code labels (a jump table), resolved at
+// Build time.
+func (b *Builder) WordsLabels(addr uint64, labels []string) {
+	b.labelTables = append(b.labelTables, labelTable{addr: addr, labels: labels})
+}
+
+// InitReg seeds an integer register before execution.
+func (b *Builder) InitReg(r isa.Reg, v uint64) { b.regs[r] = v }
+
+// Build resolves all label references and returns the finished program.
+func (b *Builder) Build() (*vm.Program, error) {
+	for _, f := range b.fixups {
+		off, ok := b.labels[f.label]
+		if !ok {
+			b.errf("undefined label %q", f.label)
+			continue
+		}
+		inst := &b.insts[f.instIdx]
+		if f.kind == fixAbs {
+			inst.Imm = int64(b.base + off)
+			continue
+		}
+		next := b.offsets[f.instIdx] + uint64(inst.Size())
+		inst.Imm = int64(off) - int64(next)
+	}
+	for _, tbl := range b.labelTables {
+		words := make([]uint64, len(tbl.labels))
+		for i, lbl := range tbl.labels {
+			off, ok := b.labels[lbl]
+			if !ok {
+				b.errf("undefined label %q in jump table", lbl)
+				continue
+			}
+			words[i] = b.base + off
+		}
+		b.Words(tbl.addr, words)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	prog := vm.NewProgram(b.name, b.base, b.insts, b.data, b.regs)
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustBuild is Build that panics on error; kernels are static so a failed
+// build is a programming bug, not a runtime condition.
+func (b *Builder) MustBuild() *vm.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,556 @@
+package workload
+
+import (
+	"math"
+
+	"carf/internal/isa"
+)
+
+// Floating-point kernels. The integer register file in these codes — the
+// one the paper's mechanism reorganizes — mostly carries array addresses
+// and induction variables, which is why the paper reports near-zero FP
+// IPC loss. Every kernel's Go replica mirrors the assembly's operation
+// order exactly so the IEEE-754 result matches bit for bit.
+
+func fbits(f float64) uint64 { return math.Float64bits(f) }
+
+// fconst materializes a float64 constant into FP register fd using an
+// integer LIMM of its bit pattern plus an FMVDX, via integer scratch t.
+func fconst(b *Builder, fd isa.Reg, t isa.Reg, v float64) {
+	b.Li(t, int64(fbits(v)))
+	b.Fmvdx(fd, t)
+}
+
+// Saxpy computes y += a*x over n elements for iters passes and reports
+// the bit pattern of sum(y).
+func Saxpy(n, iters int) Kernel {
+	rng := NewRNG(1111)
+	xv := make([]float64, n)
+	yv := make([]float64, n)
+	for i := range xv {
+		xv[i] = rng.Float64()
+		yv[i] = rng.Float64()
+	}
+	const a = 1.000244140625
+
+	yr := append([]float64(nil), yv...)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			yr[i] = yr[i] + a*xv[i]
+		}
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += yr[i]
+	}
+	expected := fbits(sum)
+
+	xBase := uint64(HeapBase)
+	yBase := HeapBase + uint64(8*n)
+	b := NewBuilder("saxpy")
+	b.Words(xBase, floatBits(xv))
+	b.Words(yBase, floatBits(yv))
+	b.La(1, xBase)
+	b.La(2, yBase)
+	b.Li(3, int64(n))
+	fconst(b, 1, 9, a)
+	b.Li(4, int64(iters))
+	b.Label("iter")
+	b.Li(5, 0)
+	b.Label("loop")
+	b.Bge(5, 3, "iend")
+	b.Slli(6, 5, 3)
+	b.Add(7, 1, 6)
+	b.Fld(2, 7, 0)
+	b.Add(8, 2, 6)
+	b.Fld(3, 8, 0)
+	b.Fmadd(3, 1, 2) // y += a*x
+	b.Fsd(3, 8, 0)
+	b.Addi(5, 5, 1)
+	b.Jmp("loop")
+	b.Label("iend")
+	b.Addi(4, 4, -1)
+	b.Bnez(4, "iter")
+	// Reduce.
+	fconst(b, 10, 9, 0)
+	b.Li(5, 0)
+	b.Label("red")
+	b.Bge(5, 3, "done")
+	b.Slli(6, 5, 3)
+	b.Add(8, 2, 6)
+	b.Fld(3, 8, 0)
+	b.Fadd(10, 10, 3)
+	b.Addi(5, 5, 1)
+	b.Jmp("red")
+	b.Label("done")
+	b.Fmvxd(ResultReg, 10)
+	b.Halt()
+
+	return Kernel{Name: "saxpy", FP: true, Prog: b.MustBuild(), Expected: expected}
+}
+
+// Stencil applies a 3-point smoothing stencil (ping-pong buffers) and
+// reports the bit pattern of the final buffer's sum.
+func Stencil(n, iters int) Kernel {
+	rng := NewRNG(1212)
+	av := make([]float64, n)
+	for i := range av {
+		av[i] = rng.Float64() * 100
+	}
+
+	src := append([]float64(nil), av...)
+	dst := make([]float64, n)
+	dst[0], dst[n-1] = src[0], src[n-1]
+	for it := 0; it < iters; it++ {
+		for i := 1; i < n-1; i++ {
+			dst[i] = (src[i-1]+src[i+1])*0.25 + src[i]*0.5
+		}
+		dst[0], dst[n-1] = src[0], src[n-1]
+		src, dst = dst, src
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += src[i]
+	}
+	expected := fbits(sum)
+
+	aBase := uint64(HeapBase)
+	bBase := HeapBase + uint64(8*n)
+	b := NewBuilder("stencil")
+	b.Words(aBase, floatBits(av))
+	// Seed the boundary cells of the second buffer.
+	b.Words(bBase, []uint64{fbits(av[0])})
+	b.Words(bBase+uint64(8*(n-1)), []uint64{fbits(av[n-1])})
+	b.La(1, aBase) // src
+	b.La(2, bBase) // dst
+	b.Li(3, int64(n))
+	fconst(b, 8, 9, 0.25)
+	fconst(b, 9, 9, 0.5)
+	b.Li(4, int64(iters))
+	b.Label("iter")
+	b.Li(5, 1)
+	b.Addi(6, 3, -1) // n-1
+	b.Label("loop")
+	b.Bge(5, 6, "iend")
+	b.Slli(7, 5, 3)
+	b.Add(10, 1, 7)
+	b.Fld(1, 10, -8)
+	b.Fld(2, 10, 8)
+	b.Fld(3, 10, 0)
+	b.Fadd(4, 1, 2)
+	b.Fmul(4, 4, 8)
+	b.Fmul(5, 3, 9)
+	b.Fadd(4, 4, 5)
+	b.Add(11, 2, 7)
+	b.Fsd(4, 11, 0)
+	b.Addi(5, 5, 1)
+	b.Jmp("loop")
+	b.Label("iend")
+	// Swap buffers.
+	b.Mv(12, 1)
+	b.Mv(1, 2)
+	b.Mv(2, 12)
+	b.Addi(4, 4, -1)
+	b.Bnez(4, "iter")
+	// Reduce over src (x1).
+	fconst(b, 10, 9, 0)
+	b.Li(5, 0)
+	b.Label("red")
+	b.Bge(5, 3, "done")
+	b.Slli(7, 5, 3)
+	b.Add(11, 1, 7)
+	b.Fld(3, 11, 0)
+	b.Fadd(10, 10, 3)
+	b.Addi(5, 5, 1)
+	b.Jmp("red")
+	b.Label("done")
+	b.Fmvxd(ResultReg, 10)
+	b.Halt()
+
+	return Kernel{Name: "stencil", FP: true, Prog: b.MustBuild(), Expected: expected}
+}
+
+// NBody integrates a small 2-D gravitational system with an O(n²) force
+// loop (sqrt and divide per pair) and reports the bit pattern of the
+// final x-position sum.
+func NBody(n, steps int) Kernel {
+	rng := NewRNG(1313)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = rng.Float64()*10 - 5
+		py[i] = rng.Float64()*10 - 5
+	}
+	const dt = 0.001
+	const eps = 0.01
+
+	// Replica mirrors the assembly operation order exactly.
+	rpx := append([]float64(nil), px...)
+	rpy := append([]float64(nil), py...)
+	rvx := append([]float64(nil), vx...)
+	rvy := append([]float64(nil), vy...)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			ax, ay := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				dx := rpx[j] - rpx[i]
+				dy := rpy[j] - rpy[i]
+				d2 := dx*dx + dy*dy + eps
+				d := math.Sqrt(d2)
+				inv3 := 1.0 / (d2 * d)
+				ax = ax + dx*inv3
+				ay = ay + dy*inv3
+			}
+			rvx[i] = rvx[i] + dt*ax
+			rvy[i] = rvy[i] + dt*ay
+		}
+		for i := 0; i < n; i++ {
+			rpx[i] = rpx[i] + dt*rvx[i]
+			rpy[i] = rpy[i] + dt*rvy[i]
+		}
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += rpx[i]
+	}
+	expected := fbits(sum)
+
+	pxB := uint64(HeapBase)
+	pyB := HeapBase + uint64(8*n)
+	vxB := HeapBase + uint64(16*n)
+	vyB := HeapBase + uint64(24*n)
+	b := NewBuilder("nbody")
+	b.Words(pxB, floatBits(px))
+	b.Words(pyB, floatBits(py))
+	b.La(1, pxB)
+	b.La(2, pyB)
+	b.La(3, vxB)
+	b.La(4, vyB)
+	b.Li(5, int64(n))
+	fconst(b, 14, 9, dt)
+	fconst(b, 15, 9, eps)
+	fconst(b, 16, 9, 1.0)
+	fconst(b, 19, 9, 0) // constant zero, reused every iteration
+	b.Li(6, int64(steps))
+	b.Label("step")
+	b.Li(7, 0) // i
+	b.Label("iloop")
+	b.Bge(7, 5, "move")
+	b.Fadd(10, 19, 19) // ax = 0
+	b.Fadd(11, 19, 19) // ay = 0
+	b.Slli(12, 7, 3)
+	b.Add(17, 1, 12)
+	b.Fld(4, 17, 0) // px[i]
+	b.Add(17, 2, 12)
+	b.Fld(5, 17, 0) // py[i]
+	b.Li(8, 0)      // j
+	b.Label("jloop")
+	b.Bge(8, 5, "jdone")
+	b.Beq(8, 7, "jnext")
+	b.Slli(13, 8, 3)
+	b.Add(17, 1, 13)
+	b.Fld(6, 17, 0) // px[j]
+	b.Add(17, 2, 13)
+	b.Fld(7, 17, 0) // py[j]
+	b.Fsub(6, 6, 4) // dx
+	b.Fsub(7, 7, 5) // dy
+	b.Fmul(8, 6, 6)
+	b.Fmul(12, 7, 7)
+	b.Fadd(8, 8, 12)
+	b.Fadd(8, 8, 15) // d2
+	b.Fsqrt(13, 8)   // d
+	b.Fmul(8, 8, 13) // d2*d
+	b.Fdiv(8, 16, 8) // inv3
+	b.Fmul(6, 6, 8)
+	b.Fadd(10, 10, 6)
+	b.Fmul(7, 7, 8)
+	b.Fadd(11, 11, 7)
+	b.Label("jnext")
+	b.Addi(8, 8, 1)
+	b.Jmp("jloop")
+	b.Label("jdone")
+	// v += dt*a
+	b.Add(17, 3, 12)
+	b.Fld(6, 17, 0)
+	b.Fmadd(6, 14, 10)
+	b.Fsd(6, 17, 0)
+	b.Add(17, 4, 12)
+	b.Fld(7, 17, 0)
+	b.Fmadd(7, 14, 11)
+	b.Fsd(7, 17, 0)
+	b.Addi(7, 7, 1)
+	b.Jmp("iloop")
+	// p += dt*v
+	b.Label("move")
+	b.Li(7, 0)
+	b.Label("mloop")
+	b.Bge(7, 5, "mdone")
+	b.Slli(12, 7, 3)
+	b.Add(17, 3, 12)
+	b.Fld(6, 17, 0)
+	b.Add(18, 1, 12)
+	b.Fld(4, 18, 0)
+	b.Fmadd(4, 14, 6)
+	b.Fsd(4, 18, 0)
+	b.Add(17, 4, 12)
+	b.Fld(7, 17, 0)
+	b.Add(18, 2, 12)
+	b.Fld(5, 18, 0)
+	b.Fmadd(5, 14, 7)
+	b.Fsd(5, 18, 0)
+	b.Addi(7, 7, 1)
+	b.Jmp("mloop")
+	b.Label("mdone")
+	b.Addi(6, 6, -1)
+	b.Bnez(6, "step")
+	// Reduce px.
+	fconst(b, 10, 9, 0)
+	b.Li(7, 0)
+	b.Label("red")
+	b.Bge(7, 5, "done")
+	b.Slli(12, 7, 3)
+	b.Add(17, 1, 12)
+	b.Fld(3, 17, 0)
+	b.Fadd(10, 10, 3)
+	b.Addi(7, 7, 1)
+	b.Jmp("red")
+	b.Label("done")
+	b.Fmvxd(ResultReg, 10)
+	b.Halt()
+
+	return Kernel{Name: "nbody", FP: true, Prog: b.MustBuild(), Expected: expected}
+}
+
+// MonteCarlo estimates π by sampling a 64-bit LCG (high-entropy integer
+// live values) and counting points inside the unit circle. The result is
+// the integer hit count.
+func MonteCarlo(samples int) Kernel {
+	const (
+		mulC = 6364136223846793005
+		addC = 1442695040888963407
+	)
+	inv53 := 1.0 / float64(1<<53)
+
+	var state uint64 = 0x1234_5678_9ABC_DEF0
+	var hits uint64
+	for s := 0; s < samples; s++ {
+		state = state*mulC + addC
+		x := float64(state>>11) * inv53
+		state = state*mulC + addC
+		y := float64(state>>11) * inv53
+		if x*x+y*y <= 1.0 {
+			hits++
+		}
+	}
+
+	b := NewBuilder("montecarlo")
+	b.Li(1, int64(uint64(0x1234_5678_9ABC_DEF0))) // state
+	b.Li(2, mulC)
+	b.Li(3, addC)
+	fconst(b, 8, 9, inv53)
+	fconst(b, 9, 9, 1.0)
+	b.Li(4, int64(samples))
+	b.Li(20, 0)
+	b.Label("loop")
+	b.Beqz(4, "done")
+	b.Addi(4, 4, -1)
+	b.Mul(1, 1, 2)
+	b.Add(1, 1, 3)
+	b.Srli(5, 1, 11)
+	b.Fcvtdl(1, 5)
+	b.Fmul(1, 1, 8) // x
+	b.Mul(1, 1, 2)  // integer state reuse: careful — x1 is int, f1 is fp (separate files)
+	b.Add(1, 1, 3)
+	b.Srli(5, 1, 11)
+	b.Fcvtdl(2, 5)
+	b.Fmul(2, 2, 8) // y
+	b.Fmul(3, 1, 1)
+	b.Fmul(4, 2, 2)
+	b.Fadd(3, 3, 4)
+	b.Fle(6, 3, 9) // x*x+y*y <= 1.0
+	b.Add(20, 20, 6)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Mv(ResultReg, 20)
+	b.Halt()
+
+	return Kernel{Name: "montecarlo", FP: true, Prog: b.MustBuild(), Expected: hits}
+}
+
+// DotProduct computes a two-accumulator dot product over n elements for
+// iters passes and reports the bit pattern of the final sum.
+func DotProduct(n, iters int) Kernel {
+	rng := NewRNG(1414)
+	xv := make([]float64, n)
+	yv := make([]float64, n)
+	for i := range xv {
+		xv[i] = rng.Float64()*2 - 1
+		yv[i] = rng.Float64()*2 - 1
+	}
+
+	var expected uint64
+	{
+		var total float64
+		for it := 0; it < iters; it++ {
+			var acc0, acc1 float64
+			for i := 0; i+1 < n; i += 2 {
+				acc0 = acc0 + xv[i]*yv[i]
+				acc1 = acc1 + xv[i+1]*yv[i+1]
+			}
+			total = total + (acc0 + acc1)
+		}
+		expected = fbits(total)
+	}
+
+	xBase := uint64(HeapBase)
+	yBase := HeapBase + uint64(8*n)
+	b := NewBuilder("dotprod")
+	b.Words(xBase, floatBits(xv))
+	b.Words(yBase, floatBits(yv))
+	b.La(1, xBase)
+	b.La(2, yBase)
+	b.Li(3, int64(n-1)) // i+1 < n bound
+	b.Li(4, int64(iters))
+	fconst(b, 12, 9, 0) // total
+	fconst(b, 19, 9, 0) // constant zero, reused every pass
+	b.Label("iter")
+	b.Fadd(10, 19, 19) // acc0 = 0
+	b.Fadd(11, 19, 19) // acc1 = 0
+	b.Li(5, 0)
+	b.Label("loop")
+	b.Bge(5, 3, "iend")
+	b.Slli(6, 5, 3)
+	b.Add(7, 1, 6)
+	b.Fld(1, 7, 0)
+	b.Fld(2, 7, 8)
+	b.Add(7, 2, 6)
+	b.Fld(3, 7, 0)
+	b.Fld(4, 7, 8)
+	b.Fmadd(10, 1, 3)
+	b.Fmadd(11, 2, 4)
+	b.Addi(5, 5, 2)
+	b.Jmp("loop")
+	b.Label("iend")
+	b.Fadd(5, 10, 11)
+	b.Fadd(12, 12, 5)
+	b.Addi(4, 4, -1)
+	b.Bnez(4, "iter")
+	b.Fmvxd(ResultReg, 12)
+	b.Halt()
+
+	return Kernel{Name: "dotprod", FP: true, Prog: b.MustBuild(), Expected: expected}
+}
+
+// Jacobi relaxes a square grid with 4-neighbour averaging (ping-pong
+// buffers) and reports the bit pattern of the final interior sum.
+func Jacobi(dim, iters int) Kernel {
+	rng := NewRNG(1515)
+	g := make([]float64, dim*dim)
+	for i := range g {
+		g[i] = rng.Float64() * 4
+	}
+
+	src := append([]float64(nil), g...)
+	dst := append([]float64(nil), g...)
+	for it := 0; it < iters; it++ {
+		for r := 1; r < dim-1; r++ {
+			for c := 1; c < dim-1; c++ {
+				i := r*dim + c
+				dst[i] = (src[i-dim] + src[i+dim] + src[i-1] + src[i+1]) * 0.25
+			}
+		}
+		src, dst = dst, src
+	}
+	var sum float64
+	for r := 1; r < dim-1; r++ {
+		for c := 1; c < dim-1; c++ {
+			sum += src[r*dim+c]
+		}
+	}
+	expected := fbits(sum)
+
+	aBase := uint64(HeapBase)
+	bBase := HeapBase + uint64(8*dim*dim)
+	b := NewBuilder("jacobi")
+	b.Words(aBase, floatBits(g))
+	b.Words(bBase, floatBits(g))
+	b.La(1, aBase)
+	b.La(2, bBase)
+	b.Li(3, int64(dim))
+	b.Addi(4, 3, -1) // dim-1
+	fconst(b, 8, 9, 0.25)
+	b.Li(5, int64(iters))
+	b.Slli(14, 3, 3) // row stride in bytes
+	b.Label("iter")
+	b.Li(6, 1) // r
+	b.Label("rloop")
+	b.Bge(6, 4, "iend")
+	b.Li(7, 1) // c
+	b.Mul(9, 6, 3)
+	b.Label("cloop")
+	b.Bge(7, 4, "rnext")
+	b.Add(10, 9, 7) // i = r*dim + c
+	b.Slli(10, 10, 3)
+	b.Add(11, 1, 10) // &src[i]
+	b.Sub(12, 11, 14)
+	b.Fld(1, 12, 0) // up
+	b.Add(12, 11, 14)
+	b.Fld(2, 12, 0) // down
+	b.Fld(3, 11, -8)
+	b.Fld(4, 11, 8)
+	b.Fadd(1, 1, 2)
+	b.Fadd(1, 1, 3)
+	b.Fadd(1, 1, 4)
+	b.Fmul(1, 1, 8)
+	b.Add(12, 2, 10)
+	b.Fsd(1, 12, 0)
+	b.Addi(7, 7, 1)
+	b.Jmp("cloop")
+	b.Label("rnext")
+	b.Addi(6, 6, 1)
+	b.Jmp("rloop")
+	b.Label("iend")
+	b.Mv(13, 1)
+	b.Mv(1, 2)
+	b.Mv(2, 13)
+	b.Addi(5, 5, -1)
+	b.Bnez(5, "iter")
+	// Reduce interior of src (x1).
+	fconst(b, 10, 9, 0)
+	b.Li(6, 1)
+	b.Label("sr")
+	b.Bge(6, 4, "done")
+	b.Li(7, 1)
+	b.Mul(9, 6, 3)
+	b.Label("sc")
+	b.Bge(7, 4, "srnext")
+	b.Add(10, 9, 7)
+	b.Slli(10, 10, 3)
+	b.Add(11, 1, 10)
+	b.Fld(3, 11, 0)
+	b.Fadd(10, 10, 3)
+	b.Addi(7, 7, 1)
+	b.Jmp("sc")
+	b.Label("srnext")
+	b.Addi(6, 6, 1)
+	b.Jmp("sr")
+	b.Label("done")
+	b.Fmvxd(ResultReg, 10)
+	b.Halt()
+
+	return Kernel{Name: "jacobi", FP: true, Prog: b.MustBuild(), Expected: expected}
+}
+
+// floatBits converts a float64 slice to its raw bit patterns.
+func floatBits(fs []float64) []uint64 {
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float64bits(f)
+	}
+	return out
+}

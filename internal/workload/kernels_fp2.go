@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"math"
+
+	"carf/internal/isa"
+)
+
+// Second wave of FP kernels: an iterative radix-2 FFT (mixing integer
+// bit manipulation with FP butterflies) and a 3×3 convolution.
+
+// FFT performs an in-place iterative radix-2 complex FFT over n points
+// (n a power of two) and reports the bit pattern of the sum of the real
+// parts. The bit-reversal permutation exercises integer shift/mask
+// chains; the butterflies exercise FP multiply/add pipelines; per-stage
+// twiddle factors come from a precomputed table (the ISA has no
+// trigonometry, like real hardware).
+func FFT(n int) Kernel {
+	rng := NewRNG(2020)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.Float64()*2 - 1
+		im[i] = rng.Float64()*2 - 1
+	}
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+	wRe := make([]uint64, stages)
+	wIm := make([]uint64, stages)
+	for s := 0; s < stages; s++ {
+		length := 1 << (s + 1)
+		ang := -2 * math.Pi / float64(length)
+		wRe[s] = fbits(math.Cos(ang))
+		wIm[s] = fbits(math.Sin(ang))
+	}
+
+	// Replica mirrors the assembly's operation order; explicit
+	// temporaries keep every rounding step identical.
+	expected := func() uint64 {
+		ar := append([]float64(nil), re...)
+		ai := append([]float64(nil), im...)
+		j := 0
+		for i := 1; i < n; i++ {
+			bit := n >> 1
+			for j&bit != 0 {
+				j ^= bit
+				bit >>= 1
+			}
+			j ^= bit
+			if i < j {
+				ar[i], ar[j] = ar[j], ar[i]
+				ai[i], ai[j] = ai[j], ai[i]
+			}
+		}
+		for s := 0; s < stages; s++ {
+			length := 1 << (s + 1)
+			half := length >> 1
+			wlr := math.Float64frombits(wRe[s])
+			wli := math.Float64frombits(wIm[s])
+			for i := 0; i < n; i += length {
+				cr, ci := 1.0, 0.0
+				for k := 0; k < half; k++ {
+					ur, ui := ar[i+k], ai[i+k]
+					xr, xi := ar[i+k+half], ai[i+k+half]
+					t1 := xr * cr
+					t2 := xi * ci
+					vr := t1 - t2
+					t3 := xr * ci
+					t4 := xi * cr
+					vi := t3 + t4
+					ar[i+k] = ur + vr
+					ai[i+k] = ui + vi
+					ar[i+k+half] = ur - vr
+					ai[i+k+half] = ui - vi
+					n1 := cr * wlr
+					n3 := cr * wli
+					n2 := ci * wli
+					n4 := ci * wlr
+					cr = n1 - n2
+					ci = n3 + n4
+				}
+			}
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += ar[i]
+		}
+		return fbits(sum)
+	}()
+
+	reBase := uint64(HeapBase)
+	imBase := HeapBase + uint64(8*n)
+	wReBase := uint64(GlobalBase)
+	wImBase := GlobalBase + uint64(8*stages)
+	b := NewBuilder("fft")
+	b.Words(reBase, floatBits(re))
+	b.Words(imBase, floatBits(im))
+	b.Words(wReBase, wRe)
+	b.Words(wImBase, wIm)
+	b.La(1, reBase)
+	b.La(2, imBase)
+	b.Li(3, int64(n))
+	fconst(b, 18, 9, 1.0) // constant one (also used to copy-reset w)
+	fconst(b, 19, 9, 0.0) // constant zero
+
+	// Bit-reversal permutation: i in x4, j in x5.
+	b.Li(5, 0)
+	b.Li(4, 1)
+	b.Label("brl")
+	b.Bge(4, 3, "stages")
+	b.Srli(6, 3, 1) // bit = n>>1
+	b.Label("bitl")
+	b.And(7, 5, 6)
+	b.Beqz(7, "bitdone")
+	b.Xor(5, 5, 6)
+	b.Srli(6, 6, 1)
+	b.Jmp("bitl")
+	b.Label("bitdone")
+	b.Xor(5, 5, 6)
+	b.Blt(4, 5, "doswap") // swap only when i < j
+	b.Jmp("brnext")
+	b.Label("doswap")
+	b.Slli(8, 4, 3)
+	b.Slli(9, 5, 3)
+	b.Add(10, 1, 8)
+	b.Add(11, 1, 9)
+	b.Fld(1, 10, 0)
+	b.Fld(2, 11, 0)
+	b.Fsd(1, 11, 0)
+	b.Fsd(2, 10, 0)
+	b.Add(10, 2, 8)
+	b.Add(11, 2, 9)
+	b.Fld(1, 10, 0)
+	b.Fld(2, 11, 0)
+	b.Fsd(1, 11, 0)
+	b.Fsd(2, 10, 0)
+	b.Label("brnext")
+	b.Addi(4, 4, 1)
+	b.Jmp("brl")
+
+	// Butterfly stages. Integer: x12 stage, x13 length, x14 half,
+	// x15/x16 twiddle table bases, x17 stage count, x4 block, x5 k,
+	// x6..x11, x18, x19 addressing. FP: f10/f11 stage twiddle, f12/f13
+	// running w, f1..f8 butterfly temps, f18 one, f19 zero.
+	b.Label("stages")
+	b.La(15, wReBase)
+	b.La(16, wImBase)
+	b.Li(12, 0)
+	b.Li(17, int64(stages))
+	b.Label("stage")
+	b.Bge(12, 17, "reduce")
+	b.Li(13, 2)
+	b.Sll(13, 13, 12) // length = 2 << stage
+	b.Srli(14, 13, 1) // half
+	b.Slli(18, 12, 3)
+	b.Add(19, 15, 18)
+	b.Fld(10, 19, 0) // wlr
+	b.Add(19, 16, 18)
+	b.Fld(11, 19, 0) // wli
+	b.Li(4, 0)       // i
+	b.Label("blk")
+	b.Bge(4, 3, "snext")
+	b.Fmul(12, 18, 18) // cr = 1
+	b.Fmul(13, 19, 18) // ci = 0
+	b.Li(5, 0)         // k
+	b.Label("bfly")
+	b.Bge(5, 14, "blknext")
+	b.Add(10, 4, 5)   // i+k
+	b.Add(11, 10, 14) // i+k+half
+	b.Slli(18, 10, 3)
+	b.Slli(19, 11, 3)
+	b.Add(6, 1, 18)  // &re[i+k]
+	b.Add(7, 1, 19)  // &re[i+k+half]
+	b.Add(8, 2, 18)  // &im[i+k]
+	b.Add(9, 2, 19)  // &im[i+k+half]
+	b.Fld(1, 6, 0)   // ur
+	b.Fld(2, 8, 0)   // ui
+	b.Fld(3, 7, 0)   // xr
+	b.Fld(4, 9, 0)   // xi
+	b.Fmul(5, 3, 12) // t1 = xr*cr
+	b.Fmul(6, 4, 13) // t2 = xi*ci
+	b.Fsub(5, 5, 6)  // vr
+	b.Fmul(6, 3, 13) // t3 = xr*ci
+	b.Fmul(7, 4, 12) // t4 = xi*cr
+	b.Fadd(6, 6, 7)  // vi
+	b.Fadd(8, 1, 5)
+	b.Fsd(8, 6, 0) // re[i+k] = ur+vr
+	b.Fadd(8, 2, 6)
+	b.Fsd(8, 8, 0) // im[i+k] = ui+vi
+	b.Fsub(8, 1, 5)
+	b.Fsd(8, 7, 0) // re[i+k+half] = ur-vr
+	b.Fsub(8, 2, 6)
+	b.Fsd(8, 9, 0) // im[i+k+half] = ui-vi
+	// w *= wlen
+	b.Fmul(14, 12, 10) // n1 = cr*wlr
+	b.Fmul(15, 12, 11) // n3 = cr*wli
+	b.Fmul(7, 13, 11)  // n2 = ci*wli
+	b.Fmul(8, 13, 10)  // n4 = ci*wlr
+	b.Fsub(12, 14, 7)  // cr'
+	b.Fadd(13, 15, 8)  // ci'
+	b.Addi(5, 5, 1)
+	b.Jmp("bfly")
+	b.Label("blknext")
+	b.Add(4, 4, 13)
+	b.Jmp("blk")
+	b.Label("snext")
+	b.Addi(12, 12, 1)
+	b.Jmp("stage")
+
+	// Reduce real parts.
+	b.Label("reduce")
+	b.Fmul(10, 19, 18) // sum = 0
+	b.Li(4, 0)
+	b.Label("red")
+	b.Bge(4, 3, "done")
+	b.Slli(6, 4, 3)
+	b.Add(6, 1, 6)
+	b.Fld(3, 6, 0)
+	b.Fadd(10, 10, 3)
+	b.Addi(4, 4, 1)
+	b.Jmp("red")
+	b.Label("done")
+	b.Fmvxd(ResultReg, 10)
+	b.Halt()
+
+	return Kernel{Name: "fft", FP: true, Prog: b.MustBuild(), Expected: expected}
+}
+
+// Conv2D applies a 3×3 convolution to a dim×dim image for iters passes
+// (ping-pong buffers, borders passed through) and reports the bit
+// pattern of the interior sum. Models image/signal filter loops.
+func Conv2D(dim, iters int) Kernel {
+	rng := NewRNG(2121)
+	img := make([]float64, dim*dim)
+	for i := range img {
+		img[i] = rng.Float64() * 16
+	}
+	kern := [9]float64{
+		0.0625, 0.125, 0.0625,
+		0.125, 0.25, 0.125,
+		0.0625, 0.125, 0.0625,
+	}
+
+	expected := func() uint64 {
+		src := append([]float64(nil), img...)
+		dst := append([]float64(nil), img...)
+		for it := 0; it < iters; it++ {
+			for r := 1; r < dim-1; r++ {
+				for c := 1; c < dim-1; c++ {
+					acc := 0.0
+					for kr := 0; kr < 3; kr++ {
+						for kc := 0; kc < 3; kc++ {
+							t := src[(r+kr-1)*dim+(c+kc-1)] * kern[kr*3+kc]
+							acc = acc + t
+						}
+					}
+					dst[r*dim+c] = acc
+				}
+			}
+			src, dst = dst, src
+		}
+		var sum float64
+		for r := 1; r < dim-1; r++ {
+			for c := 1; c < dim-1; c++ {
+				sum += src[r*dim+c]
+			}
+		}
+		return fbits(sum)
+	}()
+
+	aBase := uint64(HeapBase)
+	bBase := HeapBase + uint64(8*dim*dim)
+	kBase := uint64(GlobalBase)
+	b := NewBuilder("conv2d")
+	b.Words(aBase, floatBits(img))
+	b.Words(bBase, floatBits(img))
+	b.Words(kBase, floatBits(kern[:]))
+	b.La(1, aBase) // src
+	b.La(2, bBase) // dst
+	b.La(3, kBase)
+	b.Li(4, int64(dim))
+	b.Addi(5, 4, -1) // dim-1
+	b.Slli(15, 4, 3) // row stride
+	fconst(b, 18, 9, 1.0)
+	fconst(b, 19, 9, 0.0)
+	// Preload the 3x3 kernel into f1..f9.
+	for i := 0; i < 9; i++ {
+		b.Fld(isa.Reg(1+i), 3, int64(8*i))
+	}
+	b.Li(6, int64(iters))
+	b.Label("iter")
+	b.Li(7, 1) // r
+	b.Label("rloop")
+	b.Bge(7, 5, "iend")
+	b.Li(8, 1)     // c
+	b.Mul(9, 7, 4) // r*dim
+	b.Label("cloop")
+	b.Bge(8, 5, "rnext")
+	b.Add(10, 9, 8)
+	b.Slli(10, 10, 3)
+	b.Add(11, 1, 10) // &src[r*dim+c]
+	b.Sub(12, 11, 15)
+	b.Addi(12, 12, -8) // &src[(r-1)*dim + c-1]
+	b.Fmul(10, 19, 18) // acc = 0
+	for kr := 0; kr < 3; kr++ {
+		for kc := 0; kc < 3; kc++ {
+			b.Fld(11, 12, int64(8*kc))
+			b.Fmul(11, 11, isa.Reg(1+kr*3+kc))
+			b.Fadd(10, 10, 11)
+		}
+		if kr < 2 {
+			b.Add(12, 12, 15) // next source row
+		}
+	}
+	b.Add(13, 2, 10) // &dst[r*dim+c] (x10 holds the byte offset)
+	b.Fsd(10, 13, 0)
+	b.Addi(8, 8, 1)
+	b.Jmp("cloop")
+	b.Label("rnext")
+	b.Addi(7, 7, 1)
+	b.Jmp("rloop")
+	b.Label("iend")
+	b.Mv(14, 1)
+	b.Mv(1, 2)
+	b.Mv(2, 14)
+	b.Addi(6, 6, -1)
+	b.Bnez(6, "iter")
+	// Reduce interior of src (x1).
+	b.Fmul(10, 19, 18)
+	b.Li(7, 1)
+	b.Label("sr")
+	b.Bge(7, 5, "done")
+	b.Li(8, 1)
+	b.Mul(9, 7, 4)
+	b.Label("sc")
+	b.Bge(8, 5, "srnext")
+	b.Add(10, 9, 8)
+	b.Slli(10, 10, 3)
+	b.Add(11, 1, 10)
+	b.Fld(11, 11, 0)
+	b.Fadd(10, 10, 11)
+	b.Addi(8, 8, 1)
+	b.Jmp("sc")
+	b.Label("srnext")
+	b.Addi(7, 7, 1)
+	b.Jmp("sr")
+	b.Label("done")
+	b.Fmvxd(ResultReg, 10)
+	b.Halt()
+
+	return Kernel{Name: "conv2d", FP: true, Prog: b.MustBuild(), Expected: expected}
+}

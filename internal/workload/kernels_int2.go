@@ -1,0 +1,570 @@
+package workload
+
+import "carf/internal/isa"
+
+// Second wave of integer kernels: dense linear algebra, shortest paths
+// with a binary heap, compression match-finding, and text tokenization.
+
+// MatMulInt multiplies two n×n matrices of 16-bit values and reports
+// sum((i+1)*C[i]). Models dense integer kernels: strided addressing and
+// multiply-accumulate chains.
+func MatMulInt(n int) Kernel {
+	rng := NewRNG(1616)
+	a := make([]uint64, n*n)
+	bm := make([]uint64, n*n)
+	for i := range a {
+		a[i] = rng.Next() >> 48
+		bm[i] = rng.Next() >> 48
+	}
+
+	var expected uint64
+	{
+		c := make([]uint64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s uint64
+				for k := 0; k < n; k++ {
+					s += a[i*n+k] * bm[k*n+j]
+				}
+				c[i*n+j] = s
+			}
+		}
+		for i, v := range c {
+			expected += uint64(i+1) * v
+		}
+	}
+
+	aBase := uint64(HeapBase)
+	bBase := HeapBase + uint64(8*n*n)
+	cBase := bBase + uint64(8*n*n)
+	b := NewBuilder("matmul")
+	b.Words(aBase, a)
+	b.Words(bBase, bm)
+	b.La(1, aBase)
+	b.La(2, bBase)
+	b.La(3, cBase)
+	b.Li(4, int64(n))
+	b.Slli(15, 4, 3) // row stride bytes
+	b.Li(5, 0)       // i
+	b.Label("iloop")
+	b.Bge(5, 4, "check")
+	b.Li(6, 0) // j
+	b.Label("jloop")
+	b.Bge(6, 4, "inext")
+	b.Li(20, 0) // s
+	b.Li(7, 0)  // k
+	b.Mul(8, 5, 4)
+	b.Slli(8, 8, 3)
+	b.Add(8, 1, 8) // &A[i*n]
+	b.Slli(9, 6, 3)
+	b.Add(9, 2, 9) // &B[0*n+j]... advance by stride
+	b.Label("kloop")
+	b.Bge(7, 4, "store")
+	b.Ld(10, 8, 0)
+	b.Ld(11, 9, 0)
+	b.Mul(12, 10, 11)
+	b.Add(20, 20, 12)
+	b.Addi(8, 8, 8)
+	b.Add(9, 9, 15)
+	b.Addi(7, 7, 1)
+	b.Jmp("kloop")
+	b.Label("store")
+	b.Mul(13, 5, 4)
+	b.Add(13, 13, 6)
+	b.Slli(13, 13, 3)
+	b.Add(13, 3, 13)
+	b.St(20, 13, 0)
+	b.Addi(6, 6, 1)
+	b.Jmp("jloop")
+	b.Label("inext")
+	b.Addi(5, 5, 1)
+	b.Jmp("iloop")
+	// Checksum C.
+	b.Label("check")
+	b.Li(20, 0)
+	b.Li(5, 0)
+	b.Mul(6, 4, 4) // n*n
+	b.Label("cloop")
+	b.Bge(5, 6, "done")
+	b.Slli(7, 5, 3)
+	b.Add(7, 3, 7)
+	b.Ld(8, 7, 0)
+	b.Addi(9, 5, 1)
+	b.Mul(9, 9, 8)
+	b.Add(20, 20, 9)
+	b.Addi(5, 5, 1)
+	b.Jmp("cloop")
+	b.Label("done")
+	b.Mv(ResultReg, 20)
+	b.Halt()
+
+	return Kernel{Name: "matmul", Prog: b.MustBuild(), Expected: expected}
+}
+
+// Dijkstra computes single-source shortest paths on a random weighted
+// graph using an array-backed binary min-heap, and reports the sum of
+// finite distances. Models priority-queue codes: data-dependent branches
+// in sift operations and irregular memory access.
+func Dijkstra(n, degree int) Kernel {
+	const inf = uint64(1) << 40
+	rng := NewRNG(1717)
+	row := make([]uint64, n+1)
+	var edges, weights []uint64
+	for u := 0; u < n; u++ {
+		row[u] = uint64(len(edges))
+		for d := 0; d < degree; d++ {
+			edges = append(edges, uint64(rng.Intn(n)))
+			weights = append(weights, 1+rng.Next()>>54) // 1..1024
+		}
+	}
+	row[n] = uint64(len(edges))
+
+	// Architectural replica: lazy-deletion Dijkstra with a binary heap
+	// of (dist<<32 | node) keys, mirroring the assembly exactly.
+	expected := func() uint64 {
+		dist := make([]uint64, n)
+		for i := range dist {
+			dist[i] = inf
+		}
+		heap := make([]uint64, 0, 4*n)
+		push := func(key uint64) {
+			heap = append(heap, key)
+			c := len(heap) - 1
+			for c > 0 {
+				p := (c - 1) / 2
+				if heap[p] <= heap[c] {
+					break
+				}
+				heap[p], heap[c] = heap[c], heap[p]
+				c = p
+			}
+		}
+		pop := func() uint64 {
+			top := heap[0]
+			last := len(heap) - 1
+			heap[0] = heap[last]
+			heap = heap[:last]
+			c := 0
+			for {
+				l, r := 2*c+1, 2*c+2
+				small := c
+				if l < last && heap[l] < heap[small] {
+					small = l
+				}
+				if r < last && heap[r] < heap[small] {
+					small = r
+				}
+				if small == c {
+					break
+				}
+				heap[c], heap[small] = heap[small], heap[c]
+				c = small
+			}
+			return top
+		}
+		dist[0] = 0
+		push(0) // dist 0, node 0
+		for len(heap) > 0 {
+			key := pop()
+			d, u := key>>32, key&0xFFFFFFFF
+			if d > dist[u] {
+				continue
+			}
+			for e := row[u]; e < row[u+1]; e++ {
+				v, w := edges[e], weights[e]
+				nd := d + w
+				if nd < dist[v] {
+					dist[v] = nd
+					push(nd<<32 | v)
+				}
+			}
+		}
+		var sum uint64
+		for _, d := range dist {
+			if d < inf {
+				sum += d
+			}
+		}
+		return sum
+	}()
+
+	edgeBase := GlobalBase + uint64(8*(n+1))
+	weightBase := edgeBase + uint64(8*len(edges))
+	distBase := uint64(HeapBase)
+	heapBase := HeapBase + uint64(8*n) + 4096
+	b := NewBuilder("dijkstra")
+	b.Words(GlobalBase, row)
+	b.Words(edgeBase, edges)
+	b.Words(weightBase, weights)
+	b.La(1, GlobalBase) // rowstart
+	b.La(2, edgeBase)   // edges
+	b.La(3, weightBase) // weights
+	b.La(4, distBase)   // dist
+	b.La(5, heapBase)   // heap storage
+	b.Li(6, 0)          // heap size
+	b.Li(7, int64(n))   // n
+	b.Li(8, int64(inf)) // infinity
+	// dist[] = inf; dist[0] = 0.
+	b.Li(9, 0)
+	b.Label("init")
+	b.Bge(9, 7, "initdone")
+	b.Slli(10, 9, 3)
+	b.Add(10, 4, 10)
+	b.St(8, 10, 0)
+	b.Addi(9, 9, 1)
+	b.Jmp("init")
+	b.Label("initdone")
+	b.St(isa.Zero, 4, 0)
+	// push key 0
+	b.Li(21, 0)
+	b.Call("push")
+	b.Label("mainloop")
+	b.Beqz(6, "sum")
+	b.Call("pop")      // x21 = min key
+	b.Srli(11, 21, 32) // d
+	b.Li(12, 0xFFFFFFFF)
+	b.And(12, 21, 12) // u
+	b.Slli(13, 12, 3)
+	b.Add(13, 4, 13)
+	b.Ld(14, 13, 0)           // dist[u]
+	b.Blt(14, 11, "mainloop") // stale entry
+	// edge loop: e in row[u]..row[u+1]
+	b.Slli(13, 12, 3)
+	b.Add(13, 1, 13)
+	b.Ld(15, 13, 0) // e
+	b.Ld(16, 13, 8) // end
+	b.Label("eloop")
+	b.Bge(15, 16, "mainloop")
+	b.Slli(13, 15, 3)
+	b.Add(17, 2, 13)
+	b.Ld(17, 17, 0) // v
+	b.Add(18, 3, 13)
+	b.Ld(18, 18, 0)   // w
+	b.Add(18, 11, 18) // nd = d + w
+	b.Slli(19, 17, 3)
+	b.Add(19, 4, 19) // &dist[v]
+	b.Ld(20, 19, 0)
+	b.Bgeu(18, 20, "enext") // nd >= dist[v]
+	b.St(18, 19, 0)
+	b.Slli(21, 18, 32)
+	b.Or(21, 21, 17)
+	b.Call("push")
+	b.Label("enext")
+	b.Addi(15, 15, 1)
+	b.Jmp("eloop")
+	// Sum finite distances.
+	b.Label("sum")
+	b.Li(20, 0)
+	b.Li(9, 0)
+	b.Label("sloop")
+	b.Bge(9, 7, "done")
+	b.Slli(10, 9, 3)
+	b.Add(10, 4, 10)
+	b.Ld(11, 10, 0)
+	b.Bgeu(11, 8, "snext")
+	b.Add(20, 20, 11)
+	b.Label("snext")
+	b.Addi(9, 9, 1)
+	b.Jmp("sloop")
+	b.Label("done")
+	b.Mv(ResultReg, 20)
+	b.Halt()
+
+	// push(x21): append and sift up. Clobbers x22-x27.
+	b.Label("push")
+	b.Slli(22, 6, 3)
+	b.Add(22, 5, 22)
+	b.St(21, 22, 0)
+	b.Mv(23, 6) // c
+	b.Addi(6, 6, 1)
+	b.Label("pup")
+	b.Beqz(23, "pdone")
+	b.Addi(24, 23, -1)
+	b.Srli(24, 24, 1) // parent
+	b.Slli(25, 24, 3)
+	b.Add(25, 5, 25)
+	b.Ld(26, 25, 0) // heap[p]
+	b.Slli(27, 23, 3)
+	b.Add(27, 5, 27)
+	b.Ld(22, 27, 0)         // heap[c]
+	b.Bgeu(22, 26, "pdone") // heap[p] <= heap[c]
+	b.St(22, 25, 0)
+	b.St(26, 27, 0)
+	b.Mv(23, 24)
+	b.Jmp("pup")
+	b.Label("pdone")
+	b.Ret()
+
+	// pop() -> x21: take root, move last to root, sift down.
+	// Clobbers x22-x27, x10.
+	b.Label("pop")
+	b.Ld(21, 5, 0) // top
+	b.Addi(6, 6, -1)
+	b.Slli(22, 6, 3)
+	b.Add(22, 5, 22)
+	b.Ld(22, 22, 0) // last value
+	b.St(22, 5, 0)
+	b.Li(23, 0) // c
+	b.Label("pdown")
+	b.Slli(24, 23, 1)
+	b.Addi(24, 24, 1) // l
+	b.Bge(24, 6, "popdone")
+	b.Mv(25, 23) // small = c
+	b.Slli(26, 24, 3)
+	b.Add(26, 5, 26)
+	b.Ld(26, 26, 0) // heap[l]
+	b.Slli(27, 25, 3)
+	b.Add(27, 5, 27)
+	b.Ld(27, 27, 0)        // heap[small]
+	b.Bgeu(26, 27, "tryr") // heap[l] >= heap[small]
+	b.Mv(25, 24)
+	b.Label("tryr")
+	b.Addi(10, 24, 1) // r
+	b.Bge(10, 6, "cmps")
+	b.Slli(26, 10, 3)
+	b.Add(26, 5, 26)
+	b.Ld(26, 26, 0) // heap[r]
+	b.Slli(27, 25, 3)
+	b.Add(27, 5, 27)
+	b.Ld(27, 27, 0)
+	b.Bgeu(26, 27, "cmps")
+	b.Mv(25, 10)
+	b.Label("cmps")
+	b.Beq(25, 23, "popdone")
+	b.Slli(26, 23, 3)
+	b.Add(26, 5, 26)
+	b.Slli(27, 25, 3)
+	b.Add(27, 5, 27)
+	b.Ld(22, 26, 0)
+	b.Ld(10, 27, 0)
+	b.St(10, 26, 0)
+	b.St(22, 27, 0)
+	b.Mv(23, 25)
+	b.Jmp("pdown")
+	b.Label("popdone")
+	b.Ret()
+
+	return Kernel{Name: "dijkstra", Prog: b.MustBuild(), Expected: expected}
+}
+
+// LZMatch scans a byte buffer with an LZSS-style match finder: at each
+// position it searches a 256-byte back-window for the longest match (up
+// to 15 bytes) and folds (offset, length) pairs into a checksum. Models
+// compressor inner loops: short data-dependent compare runs.
+func LZMatch(length int) Kernel {
+	const window = 256
+	const maxMatch = 15
+	rng := NewRNG(1818)
+	data := make([]byte, length)
+	for i := range data {
+		if i >= 16 && rng.Intn(3) != 0 {
+			// Copy a short earlier chunk to create real matches.
+			src := i - 1 - rng.Intn(15)
+			data[i] = data[src]
+		} else {
+			data[i] = byte('a' + rng.Intn(6))
+		}
+	}
+
+	expected := func() uint64 {
+		var cs uint64
+		i := 1
+		for i < length {
+			bestLen, bestOff := uint64(0), uint64(0)
+			start := i - window
+			if start < 0 {
+				start = 0
+			}
+			for j := i - 1; j >= start; j-- {
+				l := 0
+				for l < maxMatch && i+l < length && data[j+l] == data[i+l] {
+					l++
+				}
+				if uint64(l) > bestLen {
+					bestLen, bestOff = uint64(l), uint64(i-j)
+				}
+			}
+			cs = cs*31 + bestLen*1024 + bestOff
+			if bestLen > 1 {
+				i += int(bestLen)
+			} else {
+				i++
+			}
+		}
+		return cs
+	}()
+
+	b := NewBuilder("lzmatch")
+	b.Data(HeapBase, data)
+	b.La(1, HeapBase)
+	b.Li(2, int64(length))
+	b.Li(3, 1)  // i
+	b.Li(20, 0) // cs
+	b.Li(15, maxMatch)
+	b.Label("outer")
+	b.Bge(3, 2, "done")
+	b.Li(4, 0)            // bestLen
+	b.Li(5, 0)            // bestOff
+	b.Addi(6, 3, -window) // start
+	b.Bge(6, isa.Zero, "startok")
+	b.Li(6, 0)
+	b.Label("startok")
+	b.Addi(7, 3, -1) // j
+	b.Label("jloop")
+	b.Blt(7, 6, "emit")
+	b.Li(8, 0) // l
+	b.Label("mloop")
+	b.Bge(8, 15, "mdone")
+	b.Add(9, 3, 8)
+	b.Bge(9, 2, "mdone") // i+l >= length
+	b.Add(10, 1, 9)
+	b.Lbu(10, 10, 0) // data[i+l]
+	b.Add(11, 7, 8)
+	b.Add(11, 1, 11)
+	b.Lbu(11, 11, 0) // data[j+l]
+	b.Bne(10, 11, "mdone")
+	b.Addi(8, 8, 1)
+	b.Jmp("mloop")
+	b.Label("mdone")
+	b.Bge(4, 8, "jnext") // bestLen >= l
+	b.Mv(4, 8)
+	b.Sub(5, 3, 7) // off = i - j
+	b.Label("jnext")
+	b.Addi(7, 7, -1)
+	b.Jmp("jloop")
+	b.Label("emit")
+	b.Slli(9, 20, 5)
+	b.Sub(9, 9, 20) // cs*31
+	b.Slli(10, 4, 10)
+	b.Add(10, 10, 5) // len*1024 + off
+	b.Add(20, 9, 10)
+	b.Li(11, 1)
+	b.Blt(11, 4, "skip") // bestLen > 1
+	b.Addi(3, 3, 1)
+	b.Jmp("outer")
+	b.Label("skip")
+	b.Add(3, 3, 4)
+	b.Jmp("outer")
+	b.Label("done")
+	b.Mv(ResultReg, 20)
+	b.Halt()
+
+	return Kernel{Name: "lzmatch", Prog: b.MustBuild(), Expected: expected}
+}
+
+// Tokenizer scans synthetic program text with a 256-entry character
+// class table, FNV-hashing each identifier/number token. Models lexers
+// and parsers: table lookups, short loops, frequent branches.
+func Tokenizer(length int) Kernel {
+	const (
+		clsSpace = 0
+		clsIdent = 1
+		clsDigit = 2
+		clsPunct = 3
+	)
+	rng := NewRNG(1919)
+	var text []byte
+	for len(text) < length {
+		switch rng.Intn(4) {
+		case 0, 1: // identifier
+			n := 2 + rng.Intn(8)
+			for i := 0; i < n; i++ {
+				text = append(text, byte('a'+rng.Intn(26)))
+			}
+		case 2: // number
+			n := 1 + rng.Intn(6)
+			for i := 0; i < n; i++ {
+				text = append(text, byte('0'+rng.Intn(10)))
+			}
+		default:
+			text = append(text, "+-*/(){};,"[rng.Intn(10)])
+		}
+		text = append(text, ' ')
+	}
+	text = text[:length]
+
+	classes := make([]byte, 256)
+	for c := 'a'; c <= 'z'; c++ {
+		classes[c] = clsIdent
+	}
+	for c := '0'; c <= '9'; c++ {
+		classes[c] = clsDigit
+	}
+	for _, c := range []byte("+-*/(){};,") {
+		classes[c] = clsPunct
+	}
+
+	expected := func() uint64 {
+		var cs uint64
+		i := 0
+		for i < length {
+			c := classes[text[i]]
+			switch c {
+			case clsIdent, clsDigit:
+				h := uint64(14695981039346656037)
+				for i < length && classes[text[i]] == c {
+					h = (h ^ uint64(text[i])) * 1099511628211
+					i++
+				}
+				cs += h
+			case clsPunct:
+				cs += uint64(text[i]) * 7
+				i++
+			default:
+				i++
+			}
+		}
+		return cs
+	}()
+
+	classBase := uint64(GlobalBase) + 0x8000
+	b := NewBuilder("tokenizer")
+	b.Data(HeapBase, text)
+	b.Data(classBase, classes)
+	b.La(1, HeapBase)
+	b.Li(2, int64(length))
+	b.La(3, classBase)
+	b.Li(14, asI64(14695981039346656037))
+	b.Li(15, 1099511628211)
+	b.Li(20, 0) // cs
+	b.Li(4, 0)  // i
+	b.Label("loop")
+	b.Bge(4, 2, "done")
+	b.Add(5, 1, 4)
+	b.Lbu(5, 5, 0)
+	b.Add(6, 3, 5)
+	b.Lbu(6, 6, 0) // class
+	b.Li(7, clsPunct)
+	b.Beq(6, 7, "punct")
+	b.Beqz(6, "space")
+	// Ident/digit token: FNV until the class changes.
+	b.Mv(8, 14) // h
+	b.Label("tok")
+	b.Bge(4, 2, "tokdone")
+	b.Add(9, 1, 4)
+	b.Lbu(9, 9, 0)
+	b.Add(10, 3, 9)
+	b.Lbu(10, 10, 0)
+	b.Bne(10, 6, "tokdone")
+	b.Xor(8, 8, 9)
+	b.Mul(8, 8, 15)
+	b.Addi(4, 4, 1)
+	b.Jmp("tok")
+	b.Label("tokdone")
+	b.Add(20, 20, 8)
+	b.Jmp("loop")
+	b.Label("punct")
+	b.Slli(9, 5, 3)
+	b.Sub(9, 9, 5) // c*7
+	b.Add(20, 20, 9)
+	b.Addi(4, 4, 1)
+	b.Jmp("loop")
+	b.Label("space")
+	b.Addi(4, 4, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Mv(ResultReg, 20)
+	b.Halt()
+
+	return Kernel{Name: "tokenizer", Prog: b.MustBuild(), Expected: expected}
+}

@@ -1,0 +1,37 @@
+package workload
+
+// RNG is a xorshift64* pseudo-random generator. Kernels use it to build
+// deterministic data segments, so the same kernel name and scale always
+// produce bit-identical programs and data (reproducible experiments).
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (zero is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Suite construction. The integer suite stands in for SPECint2000 and
+// the FP suite for SPECfp2000 (see DESIGN.md §3). Sizes are chosen so
+// each kernel executes a few hundred thousand dynamic instructions at
+// scale 1.0; scale multiplies the work (iteration counts / input
+// lengths), keeping data-structure shapes intact.
+
+type kernelFactory struct {
+	name string
+	fp   bool
+	make func(scale float64) Kernel
+}
+
+// min3 clamps v to [0, hi] (FFT sizes must stay powers of two, so the
+// scale knob selects among a few sizes instead of scaling linearly).
+func min3(v, hi int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func scaled(base int, scale float64) int {
+	n := int(math.Round(float64(base) * scale))
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+var factories = []kernelFactory{
+	{"qsort", false, func(s float64) Kernel { return Quicksort(scaled(2000, s)) }},
+	{"listchase", false, func(s float64) Kernel { return ListChase(4096, scaled(40000, s)) }},
+	{"hashprobe", false, func(s float64) Kernel { return HashProbe(scaled(8192, s), 32768) }},
+	{"strsearch", false, func(s float64) Kernel { return StringSearch(scaled(15000, s), 8) }},
+	{"rle", false, func(s float64) Kernel { return RLE(scaled(15000, s)) }},
+	{"crc64", false, func(s float64) Kernel { return CRC64(scaled(20000, s), 1) }},
+	{"treeinsert", false, func(s float64) Kernel { return TreeInsert(scaled(2000, s)) }},
+	{"bfs", false, func(s float64) Kernel { return BFS(4096, scaled(6, s)) }},
+	{"histo", false, func(s float64) Kernel { return Histogram(scaled(30000, s)) }},
+	{"vmloop", false, func(s float64) Kernel { return VMLoop(1024, scaled(25000, s)) }},
+	{"matmul", false, func(s float64) Kernel { return MatMulInt(scaled(42, s)) }},
+	{"dijkstra", false, func(s float64) Kernel { return Dijkstra(2048, scaled(6, s)) }},
+	{"lzmatch", false, func(s float64) Kernel { return LZMatch(scaled(1400, s)) }},
+	{"tokenizer", false, func(s float64) Kernel { return Tokenizer(scaled(18000, s)) }},
+
+	{"saxpy", true, func(s float64) Kernel { return Saxpy(2000, scaled(15, s)) }},
+	{"stencil", true, func(s float64) Kernel { return Stencil(2000, scaled(10, s)) }},
+	{"nbody", true, func(s float64) Kernel { return NBody(24, scaled(25, s)) }},
+	{"montecarlo", true, func(s float64) Kernel { return MonteCarlo(scaled(18000, s)) }},
+	{"dotprod", true, func(s float64) Kernel { return DotProduct(2000, scaled(20, s)) }},
+	{"jacobi", true, func(s float64) Kernel { return Jacobi(48, scaled(6, s)) }},
+	{"fft", true, func(s float64) Kernel { return FFT(256 << min3(int(s*2), 2)) }},
+	{"conv2d", true, func(s float64) Kernel { return Conv2D(40, scaled(8, s)) }},
+}
+
+// IntSuite returns the integer kernels at the given scale (1.0 is the
+// standard experiment size).
+func IntSuite(scale float64) []Kernel { return bySuite(false, scale) }
+
+// FPSuite returns the floating-point kernels at the given scale.
+func FPSuite(scale float64) []Kernel { return bySuite(true, scale) }
+
+// AllKernels returns the full suite, integer kernels first.
+func AllKernels(scale float64) []Kernel {
+	return append(IntSuite(scale), FPSuite(scale)...)
+}
+
+func bySuite(fp bool, scale float64) []Kernel {
+	var out []Kernel
+	for _, f := range factories {
+		if f.fp == fp {
+			out = append(out, f.make(scale))
+		}
+	}
+	return out
+}
+
+// Names returns all kernel names in suite order.
+func Names() []string {
+	names := make([]string, len(factories))
+	for i, f := range factories {
+		names[i] = f.name
+	}
+	return names
+}
+
+// ByName builds the named kernel at the given scale.
+func ByName(name string, scale float64) (Kernel, error) {
+	for _, f := range factories {
+		if f.name == name {
+			return f.make(scale), nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("workload: unknown kernel %q (known: %v)", name, Names())
+}
