@@ -22,6 +22,7 @@ import (
 	"carf/internal/core"
 	"carf/internal/energy"
 	"carf/internal/experiments"
+	"carf/internal/metrics"
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
 	"carf/internal/workload"
@@ -69,6 +70,17 @@ type Config struct {
 
 	// MaxInstructions bounds the simulation (0 = run to completion).
 	MaxInstructions uint64
+
+	// MetricsInterval samples every registered metric series (pipeline
+	// throughput and occupancies, sub-file occupancy, cache miss rates,
+	// predictor accuracy, ...) each time this many cycles elapse,
+	// collecting them into Result.Series. 0 disables sampling.
+	MetricsInterval uint64
+
+	// TraceEvents retains up to this many committed-instruction pipeline
+	// trace events in Result.Trace (0 disables tracing, negative is
+	// unbounded). Overflow is counted in Result.Trace.Dropped.
+	TraceEvents int
 }
 
 func (c Config) params() core.Params {
@@ -131,6 +143,14 @@ type Result struct {
 	WritesByType   [3]uint64
 	AvgLiveLong    float64
 	RecoveryStalls uint64
+
+	// Series holds the interval metric samples (Config.MetricsInterval
+	// > 0 only); export it with the metrics package writers.
+	Series *metrics.TimeSeries
+
+	// Trace holds the retained pipeline trace (Config.TraceEvents != 0
+	// only); convert it with pipeline.ChromeTraceEvents for Perfetto.
+	Trace *pipeline.TraceBuffer
 }
 
 // Kernels lists the benchmark kernel names (14 integer, 8 FP).
@@ -152,6 +172,15 @@ func Run(kernel string, cfg Config) (Result, error) {
 	pcfg := pipeline.DefaultConfig()
 	pcfg.MaxInstructions = cfg.MaxInstructions
 	cpu := pipeline.New(pcfg, k.Prog, model)
+	var sampler *metrics.Sampler
+	if cfg.MetricsInterval > 0 {
+		sampler = cpu.InstallMetrics(metrics.NewRegistry(), cfg.MetricsInterval)
+	}
+	var trace *pipeline.TraceBuffer
+	if cfg.TraceEvents != 0 {
+		trace = &pipeline.TraceBuffer{Cap: max(cfg.TraceEvents, 0)}
+		cpu.SetTracer(trace)
+	}
 	st, err := cpu.Run()
 	if err != nil {
 		return Result{}, err
@@ -186,6 +215,11 @@ func Run(kernel string, cfg Config) (Result, error) {
 		RegFileArea:       rep.TotalArea,
 		RegFileAccessTime: rep.WorstTime,
 		RecoveryStalls:    st.RecoveryStallCycles,
+		Trace:             trace,
+	}
+	if sampler != nil {
+		series := sampler.Series()
+		res.Series = &series
 	}
 	if f, ok := model.(*core.File); ok {
 		cs := f.Stats()

@@ -67,8 +67,42 @@ func TestMaxInstructionsBound(t *testing.T) {
 	}
 }
 
+func TestSeriesAndTraceExport(t *testing.T) {
+	res, err := Run("crc64", Config{Scale: 0.1, MetricsInterval: 500, TraceEvents: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series == nil {
+		t.Fatal("MetricsInterval set but Result.Series is nil")
+	}
+	if len(res.Series.Samples) == 0 || res.Series.Index("pipeline.ipc") < 0 {
+		t.Errorf("series incomplete: %d samples, names %v",
+			len(res.Series.Samples), res.Series.Names)
+	}
+	if last, ok := res.Series.Last(); !ok || last.Cycle != res.Cycles {
+		t.Errorf("final sample at cycle %d, run ended at %d", last.Cycle, res.Cycles)
+	}
+	if res.Trace == nil {
+		t.Fatal("TraceEvents set but Result.Trace is nil")
+	}
+	if len(res.Trace.Events) != 100 {
+		t.Errorf("trace holds %d events, want 100", len(res.Trace.Events))
+	}
+	if want := res.Instructions - 100; res.Trace.Dropped != want {
+		t.Errorf("trace dropped %d, want %d", res.Trace.Dropped, want)
+	}
+
+	plain, err := Run("crc64", Config{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Series != nil || plain.Trace != nil {
+		t.Error("observability disabled but Series/Trace are populated")
+	}
+}
+
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 17 {
+	if len(Experiments()) != 18 {
 		t.Errorf("experiments = %d", len(Experiments()))
 	}
 	if DescribeExperiment("fig5") == "" {

@@ -89,7 +89,7 @@ func main() {
 		fmt.Printf("pipeline(%s): %d instructions, %d cycles, IPC %.3f\n",
 			model.Name(), st.Instructions, st.Cycles, st.IPC())
 		if buf != nil {
-			fmt.Print(pipeline.FormatTrace(buf.Events))
+			fmt.Print(buf.Format())
 		}
 	} else {
 		machine = vm.New(prog)

@@ -18,6 +18,7 @@ import (
 	"carf/internal/asm"
 	"carf/internal/core"
 	"carf/internal/isa"
+	"carf/internal/metrics"
 	"carf/internal/oracle"
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
@@ -28,9 +29,11 @@ import (
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "", "built-in kernel to profile (alternative to a .s file argument)")
-		scale  = flag.Float64("scale", 0.5, "workload scale for built-in kernels")
-		period = flag.Int("period", 64, "live-value sampling period in cycles")
+		kernel     = flag.String("kernel", "", "built-in kernel to profile (alternative to a .s file argument)")
+		scale      = flag.Float64("scale", 0.5, "workload scale for built-in kernels")
+		period     = flag.Int("period", 64, "live-value sampling period in cycles")
+		metricsOut = flag.String("metrics-out", "", "write interval metric samples of the content-aware pass to this file (.csv for CSV, JSON lines otherwise)")
+		interval   = flag.Uint64("interval", metrics.DefaultInterval, "metric sampling interval in cycles")
 	)
 	flag.Parse()
 
@@ -41,7 +44,7 @@ func main() {
 	}
 	fmt.Printf("profiling %s (%d static instructions)\n\n", prog.Name, len(prog.Code))
 
-	if err := profile(prog, *period); err != nil {
+	if err := profile(prog, *period, *metricsOut, *interval); err != nil {
 		fmt.Fprintln(os.Stderr, "carfprof:", err)
 		os.Exit(1)
 	}
@@ -68,7 +71,7 @@ func loadProgram(kernel string, scale float64, args []string) (*vm.Program, erro
 	}
 }
 
-func profile(prog *vm.Program, period int) error {
+func profile(prog *vm.Program, period int, metricsOut string, interval uint64) error {
 	// Pass 1: functional run for the instruction mix and memory streams.
 	mix := map[isa.Class]uint64{}
 	addrStream := oracle.NewStreamAnalyzer(16, 64)
@@ -152,9 +155,29 @@ func profile(prog *vm.Program, period int) error {
 	// Pass 3: what the content-aware file would do with it.
 	model := core.New(core.DefaultParams())
 	cpu2 := pipeline.New(pipeline.DefaultConfig(), prog, model)
+	var sampler *metrics.Sampler
+	if metricsOut != "" {
+		sampler = cpu2.InstallMetrics(metrics.NewRegistry(), interval)
+	}
 	st2, err := cpu2.Run()
 	if err != nil {
 		return err
+	}
+	if sampler != nil {
+		ts := sampler.Series()
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := metrics.Write(f, ts, metrics.FormatForPath(metricsOut)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d metric samples x %d series to %s\n\n",
+			len(ts.Samples), len(ts.Names), metricsOut)
 	}
 	cs := model.Stats()
 	carfT := stats.Table{

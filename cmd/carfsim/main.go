@@ -1,10 +1,13 @@
 // Command carfsim runs one benchmark kernel on the simulated processor
 // with a chosen integer register file organization and prints the
-// measurements.
+// measurements. It can additionally export interval time-series metrics
+// (JSON lines or CSV), a Perfetto-loadable Chrome-format pipeline
+// trace, and Go pprof profiles of the simulator itself.
 //
 // Usage:
 //
 //	carfsim -kernel qsort -org content-aware -dplusn 20 -short 8 -long 48
+//	carfsim -kernel qsort -interval 10000 -metrics-out m.jsonl -trace-out t.json
 //	carfsim -list
 package main
 
@@ -12,8 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"carf"
+	"carf/internal/metrics"
+	"carf/internal/pipeline"
 )
 
 func main() {
@@ -26,6 +33,13 @@ func main() {
 		scale  = flag.Float64("scale", 1.0, "workload scale factor")
 		maxi   = flag.Uint64("max-instructions", 0, "stop after N instructions (0 = run to completion)")
 		list   = flag.Bool("list", false, "list kernels and organizations, then exit")
+
+		metricsOut = flag.String("metrics-out", "", "write interval metric samples to this file (.csv for CSV, JSON lines otherwise)")
+		interval   = flag.Uint64("interval", metrics.DefaultInterval, "metric sampling interval in cycles")
+		traceOut   = flag.String("trace-out", "", "write a Chrome-trace-format (Perfetto-loadable) pipeline trace to this file")
+		traceCap   = flag.Int("trace-cap", 20000, "retain at most N traced instructions (-1 = unbounded)")
+		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the simulator to this file")
+		memProfile = flag.String("memprofile", "", "write a Go heap profile of the simulator to this file")
 	)
 	flag.Parse()
 
@@ -41,17 +55,39 @@ func main() {
 		return
 	}
 
-	res, err := carf.Run(*kernel, carf.Config{
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := carf.Config{
 		Organization:    carf.Organization(*org),
 		DPlusN:          *dplusn,
 		ShortRegs:       *short,
 		LongRegs:        *long,
 		Scale:           *scale,
 		MaxInstructions: *maxi,
-	})
+	}
+	if *metricsOut != "" {
+		if *interval == 0 {
+			fatal(fmt.Errorf("-interval must be > 0 when -metrics-out is set"))
+		}
+		cfg.MetricsInterval = *interval
+	}
+	if *traceOut != "" {
+		cfg.TraceEvents = *traceCap
+	}
+
+	res, err := carf.Run(*kernel, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "carfsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	fmt.Printf("kernel            %s\n", res.Kernel)
@@ -74,9 +110,67 @@ func main() {
 		fmt.Printf("avg live long     %.2f\n", res.AvgLiveLong)
 		fmt.Printf("recovery stalls   %d\n", res.RecoveryStalls)
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, res.Series); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics           %d samples x %d series -> %s\n",
+			len(res.Series.Samples), len(res.Series.Names), *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, res.Trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace             %d instructions -> %s (load in https://ui.perfetto.dev)\n",
+			len(res.Trace.Events), *traceOut)
+		if res.Trace.Dropped > 0 {
+			fmt.Printf("                  %d events dropped (raise -trace-cap to keep more)\n", res.Trace.Dropped)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func max(a, b uint64) uint64 {
+func writeMetrics(path string, ts *metrics.TimeSeries) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Write(f, *ts, metrics.FormatForPath(path)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, buf *pipeline.TraceBuffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteChromeTrace(f, pipeline.ChromeTraceEvents(buf.Events)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "carfsim:", err)
+	os.Exit(1)
+}
+
+func max[T int | uint64](a, b T) T {
 	if a > b {
 		return a
 	}

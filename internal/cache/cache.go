@@ -5,7 +5,11 @@
 // latencies, which is all the register-file experiments need.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"carf/internal/metrics"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -199,4 +203,20 @@ func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()
 	h.L2.Reset()
+}
+
+// RegisterMetrics registers per-level access, miss, and interval
+// miss-rate series ("cache.l1d.miss_rate", ...) on reg.
+func (h *Hierarchy) RegisterMetrics(reg *metrics.Registry) {
+	for _, lv := range []struct {
+		name string
+		c    *Cache
+	}{{"l1i", h.L1I}, {"l1d", h.L1D}, {"l2", h.L2}} {
+		c := lv.c
+		accesses := func() float64 { return float64(c.stats.Accesses) }
+		misses := func() float64 { return float64(c.stats.Misses) }
+		reg.GaugeFunc("cache."+lv.name+".accesses", accesses)
+		reg.GaugeFunc("cache."+lv.name+".misses", misses)
+		reg.RatioRate("cache."+lv.name+".miss_rate", misses, accesses)
+	}
 }

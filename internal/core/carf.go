@@ -139,6 +139,15 @@ type Stats struct {
 	ShortInstallFails uint64 // address offered but indexed slot busy
 	ShortFrees        uint64 // entries reclaimed by the reference-bit scheme
 
+	// (64−d)-similarity classification of non-simple values at
+	// write-back: a hit finds a live Short group (the value becomes
+	// short-typed); a miss demotes the value to the Long file (a
+	// Short→Long promotion). Counted per completed write, so
+	// SimilarityHits == WritesByType[short] and SimilarityMisses ==
+	// WritesByType[long].
+	SimilarityHits   uint64
+	SimilarityMisses uint64
+
 	// Long-file behaviour.
 	LongAllocs      uint64
 	LongFrees       uint64
@@ -429,6 +438,7 @@ func (f *File) TryWrite(tag int, v uint64) bool {
 		f.short[idx].tcur = true
 		f.short[idx].refs++
 		f.simpleWrites++
+		f.stats.SimilarityHits++
 		f.stats.WritesByType[regfile.TypeShort]++
 		return true
 	}
@@ -462,6 +472,7 @@ func (f *File) TryWrite(tag int, v uint64) bool {
 	e.written = true
 	f.simpleWrites++
 	f.longWrites++
+	f.stats.SimilarityMisses++
 	f.stats.WritesByType[regfile.TypeLong]++
 	return true
 }
@@ -487,6 +498,7 @@ func (f *File) ForceWrite(tag int, v uint64) {
 	e.written = true
 	f.simpleWrites++
 	f.longWrites++
+	f.stats.SimilarityMisses++
 	f.stats.WritesByType[regfile.TypeLong]++
 }
 

@@ -80,6 +80,7 @@ var registry = []experiment{
 	{"wrongpath", "fidelity ablation: speculative wrong-path execution vs fetch stall", WrongPath},
 	{"cluster", "§6 clustering: value-type-steered half-width clusters vs unified", Cluster},
 	{"kernels", "per-kernel transparency: IPC on all organizations, mispredicts, write mix", Kernels},
+	{"phases", "phase variance: interval IPC and sub-file occupancy time series per kernel", Phases},
 	{"calibration", "energy-model robustness: conclusions across technology constants", Calibration},
 }
 

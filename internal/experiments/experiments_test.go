@@ -4,6 +4,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"carf/internal/core"
+	"carf/internal/workload"
 )
 
 // Experiments are heavyweight; tests run them at a tiny scale and check
@@ -21,8 +24,8 @@ func pct(t *testing.T, cell string) float64 {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 17 {
-		t.Errorf("registry has %d experiments, want 17", len(names))
+	if len(names) != 18 {
+		t.Errorf("registry has %d experiments, want 18", len(names))
 	}
 	for _, n := range names {
 		if Describe(n) == "" {
@@ -385,6 +388,40 @@ func TestClusterStudy(t *testing.T) {
 	}
 	if typeIPC > 101 || typeIPC < 70 {
 		t.Errorf("type-steered IPC %.1f%% implausible", typeIPC)
+	}
+}
+
+func TestPhasesShape(t *testing.T) {
+	t.Parallel()
+	r, err := Phases(testOpt.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("tables = %d", len(r.Tables))
+	}
+	ipcT, occT := r.Tables[0], r.Tables[1]
+	nInt := len(workload.IntSuite(1))
+	if len(ipcT.Rows) != nInt || len(occT.Rows) != nInt {
+		t.Fatalf("rows = %d/%d, want %d (one per int kernel)", len(ipcT.Rows), len(occT.Rows), nInt)
+	}
+	p := core.DefaultParams()
+	for i, row := range ipcT.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil || n < 1 {
+			t.Errorf("%s: sample count %q", row[0], row[1])
+		}
+		mean, _ := strconv.ParseFloat(row[2], 64)
+		lo, _ := strconv.ParseFloat(row[4], 64)
+		hi, _ := strconv.ParseFloat(row[5], 64)
+		if !(lo <= mean && mean <= hi) || hi <= 0 {
+			t.Errorf("%s: interval IPC summary min %v mean %v max %v inconsistent", row[0], lo, mean, hi)
+		}
+		shortMax, _ := strconv.ParseFloat(occT.Rows[i][2], 64)
+		longMax, _ := strconv.ParseFloat(occT.Rows[i][5], 64)
+		if shortMax > float64(p.NumShort) || longMax > float64(p.NumLong) {
+			t.Errorf("%s: occupancy max short %v long %v exceed structural bounds", row[0], shortMax, longMax)
+		}
 	}
 }
 

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"carf/internal/core"
+	"carf/internal/metrics"
+	"carf/internal/pipeline"
+	"carf/internal/stats"
+	"carf/internal/workload"
+)
+
+// phasesInterval is the sampling period for the phase-variance study:
+// fine enough to resolve kernel phases at the experiments' default
+// 0.25 scale (tens of thousands of cycles per kernel), coarse enough
+// that each interval spans many instructions.
+const phasesInterval = 1000
+
+// Phases runs the integer suite on the content-aware organization with
+// the interval metric sampler attached and reports phase variance —
+// the spread of interval IPC and of Short/Long sub-file occupancy over
+// time — instead of the end-of-run means the paper's exhibits use. A
+// kernel whose interval IPC swings widely has distinct phases that a
+// mean conceals; high Short-occupancy variance marks phases where the
+// d-bit similarity test changes its hit rate.
+func Phases(opt Options) (Result, error) {
+	kernels := workload.IntSuite(opt.Scale)
+	type out struct {
+		kernel string
+		series metrics.TimeSeries
+		ipc    float64
+	}
+	outs := make([]out, len(kernels))
+	errs := make([]error, len(kernels))
+	sem := make(chan struct{}, opt.Parallel)
+	var wg sync.WaitGroup
+	for i, k := range kernels {
+		wg.Add(1)
+		go func(i int, k workload.Kernel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cpu := pipeline.New(pipeline.DefaultConfig(), k.Prog, core.New(core.DefaultParams()))
+			sampler := cpu.InstallMetrics(metrics.NewRegistry(), phasesInterval)
+			st, err := cpu.Run()
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", k.Name, err)
+				return
+			}
+			outs[i] = out{kernel: k.Name, series: sampler.Series(), ipc: st.IPC()}
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	ipcT := stats.Table{
+		Title: fmt.Sprintf("Interval IPC phase variance (content-aware, %d-cycle intervals)", phasesInterval),
+		Header: []string{"kernel", "samples", "mean IPC", "stddev", "min", "max",
+			"cv", "run IPC"},
+	}
+	occT := stats.Table{
+		Title:  "Sub-file occupancy over time (content-aware)",
+		Header: []string{"kernel", "short mean", "short max", "long mean", "long stddev", "long max"},
+	}
+	for _, o := range outs {
+		ipc := metrics.Summarize(o.series.Column("pipeline.ipc"))
+		cv := 0.0
+		if ipc.Mean != 0 {
+			cv = ipc.Stddev / ipc.Mean
+		}
+		ipcT.AddRow(o.kernel,
+			fmt.Sprintf("%d", ipc.N),
+			stats.F3(ipc.Mean), stats.F3(ipc.Stddev),
+			stats.F3(ipc.Min), stats.F3(ipc.Max),
+			stats.Pct(cv), stats.F3(o.ipc))
+
+		short := metrics.Summarize(o.series.Column("core.short_occupancy"))
+		long := metrics.Summarize(o.series.Column("core.long_occupancy"))
+		occT.AddRow(o.kernel,
+			stats.F3(short.Mean), fmt.Sprintf("%.0f", short.Max),
+			stats.F3(long.Mean), stats.F3(long.Stddev), fmt.Sprintf("%.0f", long.Max))
+	}
+	p := core.DefaultParams()
+	occT.AddNote("structural bounds: %d short, %d long registers", p.NumShort, p.NumLong)
+	ipcT.AddNote("cv = stddev/mean; a high cv marks kernels with distinct execution phases")
+	return Result{Name: "phases", Tables: []stats.Table{ipcT, occT}}, nil
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float compactly: integral values without a
+// fraction, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSONL exports the time series as JSON lines: one object per
+// sample with a leading "cycle" field and one field per series, in
+// registry order.
+func WriteJSONL(w io.Writer, ts TimeSeries) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, len(ts.Names))
+	for i, n := range ts.Names {
+		names[i] = strconv.Quote(n)
+	}
+	for _, sm := range ts.Samples {
+		bw.WriteString(`{"cycle":`)
+		bw.WriteString(strconv.FormatUint(sm.Cycle, 10))
+		for i, v := range sm.Values {
+			bw.WriteByte(',')
+			bw.WriteString(names[i])
+			bw.WriteByte(':')
+			bw.WriteString(formatValue(v))
+		}
+		if _, err := bw.WriteString("}\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV exports the time series as CSV: a header row ("cycle" plus
+// the series names) followed by one row per sample.
+func WriteCSV(w io.Writer, ts TimeSeries) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("cycle")
+	for _, n := range ts.Names {
+		bw.WriteByte(',')
+		bw.WriteString(csvEscape(n))
+	}
+	bw.WriteByte('\n')
+	for _, sm := range ts.Samples {
+		bw.WriteString(strconv.FormatUint(sm.Cycle, 10))
+		for _, v := range sm.Values {
+			bw.WriteByte(',')
+			bw.WriteString(formatValue(v))
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Format names a metrics export encoding.
+type Format uint8
+
+const (
+	FormatJSONL Format = iota
+	FormatCSV
+)
+
+// FormatForPath picks an export format from a file extension: .csv maps
+// to CSV, everything else to JSON lines.
+func FormatForPath(path string) Format {
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		return FormatCSV
+	}
+	return FormatJSONL
+}
+
+// Write exports ts in the given format.
+func Write(w io.Writer, ts TimeSeries, f Format) error {
+	switch f {
+	case FormatCSV:
+		return WriteCSV(w, ts)
+	case FormatJSONL:
+		return WriteJSONL(w, ts)
+	default:
+		return fmt.Errorf("metrics: unknown format %d", f)
+	}
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenSeries builds a deterministic two-and-a-half-interval series
+// exercising every instrument kind.
+func goldenSeries() TimeSeries {
+	reg := NewRegistry()
+	ops := reg.Counter("ops")
+	occ := reg.Gauge("occupancy")
+	var num, den float64
+	reg.RatioRate("hit.rate", func() float64 { return num }, func() float64 { return den })
+	h := reg.Histogram("width", []float64{1, 2, 4})
+
+	s := NewSampler(reg, 10)
+
+	ops.Add(5)
+	occ.Set(3.5)
+	num, den = 2, 4
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	s.Tick(10)
+
+	ops.Add(7)
+	occ.Set(1.25)
+	num, den = 5, 8
+	h.Observe(8)
+	s.Tick(20)
+
+	s.Final(25)
+	return s.Series()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, goldenSeries()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series.jsonl.golden", buf.Bytes())
+
+	// Every line must be a standalone JSON object with a cycle field.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var obj map[string]float64
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %q not valid JSON: %v", line, err)
+		}
+		if _, ok := obj["cycle"]; !ok {
+			t.Fatalf("line %q missing cycle", line)
+		}
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenSeries()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series.csv.golden", buf.Bytes())
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 samples
+		t.Fatalf("csv lines = %d, want 4", len(lines))
+	}
+	cols := len(strings.Split(lines[0], ","))
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != cols {
+			t.Fatalf("ragged csv row %q: %d columns, header has %d", l, got, cols)
+		}
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	ts := TimeSeries{
+		Names:   []string{`odd,"name`},
+		Samples: []Sample{{Cycle: 1, Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"odd,""name"`) {
+		t.Errorf("csv header not escaped: %q", buf.String())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []ChromeEvent{
+		{Name: "execute", Ph: "X", Ts: 10, Dur: 0, Pid: 1, Tid: 2,
+			Args: map[string]any{"seq": 7}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	for _, field := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+		if _, ok := parsed.TraceEvents[0][field]; !ok {
+			t.Errorf("event missing %q (zero values must still serialize)", field)
+		}
+	}
+
+	// Empty input still produces a loadable trace.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Errorf("empty trace = %q", buf.String())
+	}
+}

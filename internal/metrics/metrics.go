@@ -1,0 +1,272 @@
+// Package metrics is the simulator's unified observability layer: a
+// registry of named counters, gauges, and fixed-bucket histograms with a
+// zero-allocation hot path, an interval sampler that snapshots every
+// registered series into a time-series ring, and machine-readable
+// exporters (JSON lines, CSV, Chrome trace format).
+//
+// Components register instruments once at construction time and update
+// them with plain field arithmetic during simulation; all aggregation,
+// derivation (interval rates, ratios), and allocation happens at
+// snapshot time, every sampling interval.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; Inc/Add are single-field increments with no allocation.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the cumulative count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous value that can move in both directions.
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations <= Bounds[i]; one implicit overflow bucket counts the
+// rest. Observe is a linear scan over a handful of bounds plus two
+// field increments — no allocation.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+
+	// Interval state, advanced by snapshot.
+	prevCount uint64
+	prevSum   float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Buckets returns the bucket upper bounds and their counts; the final
+// count (one past the last bound) is the overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}
+
+// kind discriminates the instrument union inside the registry.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindRatioRate
+)
+
+// instrument is one registered series.
+type instrument struct {
+	name string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+
+	// RatioRate state: interval delta(num)/delta(den).
+	num, den         func() float64
+	prevNum, prevDen float64
+	ratePrimed       bool
+}
+
+// Registry holds named instruments in registration order. It is not
+// safe for concurrent use; each simulated core owns its own registry
+// (experiment harnesses run one registry per simulation goroutine).
+type Registry struct {
+	instruments []*instrument
+	byName      map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*instrument)}
+}
+
+func (r *Registry) add(in *instrument) {
+	if _, dup := r.byName[in.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate instrument %q", in.name))
+	}
+	r.instruments = append(r.instruments, in)
+	r.byName[in.name] = in
+}
+
+// Counter registers and returns a counter. Registering a duplicate name
+// panics (instrument sets are static configuration).
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.add(&instrument{name: name, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.add(&instrument{name: name, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time — the instrument of choice for cumulative totals and occupancies
+// already maintained by the component (zero hot-path cost).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.add(&instrument{name: name, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers a fixed-bucket histogram with the given ascending
+// upper bounds (an overflow bucket is implicit). Its series value is the
+// per-interval mean of new observations.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bound", name))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.add(&instrument{name: name, kind: kindHistogram, hist: h})
+	return h
+}
+
+// RatioRate registers a derived series sampled as
+// delta(num)/delta(den) over each interval (0 when den did not move) —
+// interval IPC, miss rates, bypass rates, prediction accuracy.
+func (r *Registry) RatioRate(name string, num, den func() float64) {
+	r.add(&instrument{name: name, kind: kindRatioRate, num: num, den: den})
+}
+
+// Names returns the series names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.instruments))
+	for i, in := range r.instruments {
+		out[i] = in.name
+	}
+	return out
+}
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int { return len(r.instruments) }
+
+// Snapshot appends one value per instrument (registration order) to out
+// and returns it. It advances interval state (rates, histogram means),
+// so exactly one caller — normally a Sampler — should drive it.
+// Non-finite values are sanitized to 0 so every export format stays
+// valid.
+func (r *Registry) Snapshot(out []float64) []float64 {
+	for _, in := range r.instruments {
+		var v float64
+		switch in.kind {
+		case kindCounter:
+			v = float64(in.counter.v)
+		case kindGauge:
+			v = in.gauge.v
+		case kindGaugeFunc:
+			v = in.fn()
+		case kindHistogram:
+			h := in.hist
+			if dc := h.count - h.prevCount; dc > 0 {
+				v = (h.sum - h.prevSum) / float64(dc)
+			}
+			h.prevCount, h.prevSum = h.count, h.sum
+		case kindRatioRate:
+			num, den := in.num(), in.den()
+			if in.ratePrimed {
+				if dd := den - in.prevDen; dd != 0 {
+					v = (num - in.prevNum) / dd
+				}
+			} else if den != 0 {
+				// First sample: rate over everything so far.
+				v = num / den
+			}
+			in.prevNum, in.prevDen, in.ratePrimed = num, den, true
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Summary describes one series' distribution across samples.
+type Summary struct {
+	Mean, Stddev, Min, Max float64
+	N                      int
+}
+
+// Summarize computes mean/stddev/min/max of xs (zero Summary if empty).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: xs[0], Max: xs[0], N: len(xs)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Stddev = math.Sqrt(sq / float64(len(xs)))
+	return s
+}

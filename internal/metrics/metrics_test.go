@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterGaugeSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	c.Add(3)
+	c.Inc()
+	g.Set(2.5)
+	g.Add(-1)
+	vals := reg.Snapshot(nil)
+	if len(vals) != 2 || vals[0] != 4 || vals[1] != 1.5 {
+		t.Fatalf("snapshot = %v, want [4 1.5]", vals)
+	}
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("x")
+	reg.Gauge("x")
+}
+
+func TestGaugeFuncSanitizesNonFinite(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("nan", func() float64 { return math.NaN() })
+	reg.GaugeFunc("inf", func() float64 { return math.Inf(1) })
+	vals := reg.Snapshot(nil)
+	if vals[0] != 0 || vals[1] != 0 {
+		t.Fatalf("non-finite values not sanitized: %v", vals)
+	}
+}
+
+func TestHistogramBucketsAndIntervalMean(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 2, 3, 8} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets: %v %v", bounds, counts)
+	}
+	want := []uint64{2, 1, 1, 1} // <=1: {0,1}; <=2: {2}; <=4: {3}; over: {8}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Mean() != 14.0/5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	// First snapshot: interval mean over everything so far.
+	if vals := reg.Snapshot(nil); vals[0] != 14.0/5 {
+		t.Errorf("interval mean = %v, want %v", vals[0], 14.0/5)
+	}
+	// New interval: only the new observations count.
+	h.Observe(10)
+	if vals := reg.Snapshot(nil); vals[0] != 10 {
+		t.Errorf("interval mean = %v, want 10", vals[0])
+	}
+	// Empty interval: 0.
+	if vals := reg.Snapshot(nil); vals[0] != 0 {
+		t.Errorf("empty interval mean = %v, want 0", vals[0])
+	}
+}
+
+func TestRatioRate(t *testing.T) {
+	reg := NewRegistry()
+	var num, den float64
+	reg.RatioRate("r", func() float64 { return num }, func() float64 { return den })
+	num, den = 2, 4
+	if vals := reg.Snapshot(nil); vals[0] != 0.5 {
+		t.Fatalf("first sample rate = %v, want 0.5", vals[0])
+	}
+	num, den = 5, 8
+	if vals := reg.Snapshot(nil); vals[0] != 0.75 {
+		t.Fatalf("interval rate = %v, want 0.75", vals[0])
+	}
+	// Denominator stalled: rate is 0, not NaN.
+	if vals := reg.Snapshot(nil); vals[0] != 0 {
+		t.Fatalf("stalled rate = %v, want 0", vals[0])
+	}
+}
+
+func TestSamplerIntervalAndFinal(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	s := NewSampler(reg, 10)
+	for cycle := uint64(0); cycle <= 35; cycle++ {
+		c.Inc()
+		s.Tick(cycle)
+	}
+	s.Final(35)
+	s.Final(35) // idempotent at the same cycle
+	ts := s.Series()
+	cycles := make([]uint64, len(ts.Samples))
+	for i, sm := range ts.Samples {
+		cycles[i] = sm.Cycle
+	}
+	want := []uint64{10, 20, 30, 35}
+	if len(cycles) != len(want) {
+		t.Fatalf("sample cycles = %v, want %v", cycles, want)
+	}
+	for i := range want {
+		if cycles[i] != want[i] {
+			t.Fatalf("sample cycles = %v, want %v", cycles, want)
+		}
+	}
+	last, ok := ts.Last()
+	if !ok || last.Values[0] != 36 {
+		t.Fatalf("final sample = %v, want counter 36", last)
+	}
+}
+
+func TestSamplerRingEviction(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	s := NewSampler(reg, 1)
+	s.SetCap(3)
+	for cycle := uint64(1); cycle <= 7; cycle++ {
+		c.Inc()
+		s.Tick(cycle)
+	}
+	ts := s.Series()
+	if ts.Evicted != 4 {
+		t.Errorf("evicted = %d, want 4", ts.Evicted)
+	}
+	if len(ts.Samples) != 3 {
+		t.Fatalf("retained = %d, want 3", len(ts.Samples))
+	}
+	for i, wantCycle := range []uint64{5, 6, 7} {
+		if ts.Samples[i].Cycle != wantCycle {
+			t.Fatalf("ring order: got cycles %v", ts.Samples)
+		}
+	}
+}
+
+func TestTimeSeriesColumn(t *testing.T) {
+	ts := TimeSeries{
+		Names: []string{"a", "b"},
+		Samples: []Sample{
+			{Cycle: 1, Values: []float64{1, 10}},
+			{Cycle: 2, Values: []float64{2, 20}},
+		},
+	}
+	col := ts.Column("b")
+	if len(col) != 2 || col[0] != 10 || col[1] != 20 {
+		t.Errorf("column b = %v", col)
+	}
+	if ts.Column("missing") != nil {
+		t.Error("missing column should be nil")
+	}
+	if ts.Index("a") != 0 || ts.Index("zzz") != -1 {
+		t.Error("Index misbehaves")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	if FormatForPath("m.jsonl") != FormatJSONL || FormatForPath("m.CSV") != FormatCSV {
+		t.Error("format detection wrong")
+	}
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one event in the Chrome trace format (the JSON schema
+// loaded by Perfetto and chrome://tracing). Simulated cycles map to
+// trace microseconds. Dur is always emitted — complete ("X") events
+// with zero duration are legal and keep the schema uniform.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope variant of the format, which
+// tolerates trailing metadata better than the bare-array variant.
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes events as a Chrome trace JSON object.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"carf/internal/metrics"
+)
+
+// chromeStage names one per-instruction duration slice in the exported
+// trace, bounded by two of the event's stage cycles.
+type chromeStage struct {
+	name       string
+	begin, end func(TraceEvent) int64
+}
+
+var chromeStages = []chromeStage{
+	{"fetch", func(e TraceEvent) int64 { return e.Fetch }, func(e TraceEvent) int64 { return e.Rename }},
+	{"rename", func(e TraceEvent) int64 { return e.Rename }, func(e TraceEvent) int64 { return e.Issue }},
+	{"execute", func(e TraceEvent) int64 { return e.Issue }, func(e TraceEvent) int64 { return e.ExecDone }},
+	{"writeback", func(e TraceEvent) int64 { return e.ExecDone }, func(e TraceEvent) int64 { return e.WBDone }},
+	{"commit", func(e TraceEvent) int64 { return e.WBDone }, func(e TraceEvent) int64 { return e.Commit }},
+}
+
+// ChromeTraceEvents converts a commit-order trace into Chrome trace
+// format complete events, one duration slice per pipeline stage per
+// instruction, with one simulated cycle mapped to one trace
+// microsecond. Instructions are laid out on the smallest set of
+// Perfetto tracks (tids) such that lifetimes on a track never overlap,
+// so concurrent in-flight instructions render as parallel lanes.
+func ChromeTraceEvents(events []TraceEvent) []metrics.ChromeEvent {
+	out := make([]metrics.ChromeEvent, 0, len(events)*len(chromeStages))
+	var laneEnds []int64 // per-lane cycle at which its last instruction commits
+	for _, ev := range events {
+		lane := -1
+		for i, end := range laneEnds {
+			if end <= ev.Fetch {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnds)
+			laneEnds = append(laneEnds, 0)
+		}
+		laneEnds[lane] = ev.Commit
+		args := map[string]any{
+			"seq":  ev.Seq,
+			"pc":   ev.PC,
+			"inst": ev.Inst.String(),
+		}
+		if ev.Mispredicted {
+			args["mispredicted"] = true
+		}
+		for _, st := range chromeStages {
+			begin, end := st.begin(ev), st.end(ev)
+			if end < begin {
+				end = begin
+			}
+			out = append(out, metrics.ChromeEvent{
+				Name: st.name,
+				Cat:  "pipeline",
+				Ph:   "X",
+				Ts:   float64(begin),
+				Dur:  float64(end - begin),
+				Pid:  1,
+				Tid:  lane + 1,
+				Args: args,
+			})
+		}
+	}
+	return out
+}

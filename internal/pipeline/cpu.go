@@ -6,6 +6,7 @@ import (
 
 	"carf/internal/cache"
 	"carf/internal/isa"
+	"carf/internal/metrics"
 	"carf/internal/predictor"
 	"carf/internal/regfile"
 	"carf/internal/vm"
@@ -136,6 +137,12 @@ type CPU struct {
 	sampler      LiveSampler
 	samplePeriod int64
 	tracer       Tracer
+
+	// Metrics instrumentation (InstallMetrics; all nil when disabled).
+	msampler     *metrics.Sampler
+	mFetchWidth  *metrics.Histogram
+	mIssueWidth  *metrics.Histogram
+	mCommitWidth *metrics.Histogram
 
 	// issueHold asks this context to skip issue for the cycle (SMT
 	// thread-priority policies).
@@ -324,6 +331,9 @@ func (c *CPU) Run() (Stats, error) {
 			break
 		}
 	}
+	if c.msampler != nil {
+		c.msampler.Final(c.stats.Cycles)
+	}
 	return c.stats, nil
 }
 
@@ -334,6 +344,7 @@ func (c *CPU) Stats() Stats { return c.stats }
 // order so same-cycle structural hazards resolve like hardware.
 func (c *CPU) cycle() {
 	c.readsUsed, c.writesUsed = 0, 0
+	instr0, seq0 := c.stats.Instructions, c.seq
 	c.commit()
 	if c.done {
 		return
@@ -343,6 +354,10 @@ func (c *CPU) cycle() {
 	c.issue()
 	c.rename()
 	c.fetch()
+	if c.mCommitWidth != nil {
+		c.mCommitWidth.Observe(float64(c.stats.Instructions - instr0))
+		c.mFetchWidth.Observe(float64(c.seq - seq0))
+	}
 	if c.sampler != nil && c.samplePeriod > 0 && c.now%c.samplePeriod == 0 {
 		c.sampleLive()
 	}
@@ -351,6 +366,9 @@ func (c *CPU) cycle() {
 	}
 	c.now++
 	c.stats.Cycles++
+	if c.msampler != nil {
+		c.msampler.Tick(c.stats.Cycles)
+	}
 }
 
 type liveLongSampler interface{ SampleLiveLong() }
@@ -587,6 +605,9 @@ func (c *CPU) issue() {
 	fpPool := []int{fpFU}
 	c.issueQueue(&c.intIQ, &issued, intPool, &dports, onlyHead)
 	c.issueQueue(&c.fpIQ, &issued, fpPool, &dports, onlyHead)
+	if c.mIssueWidth != nil {
+		c.mIssueWidth.Observe(float64(issued))
+	}
 }
 
 func (c *CPU) issueQueue(queue *[]*dynInst, issued *int, fuPool []int, dports *int, onlyHead bool) {

@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"carf/internal/core"
+	"carf/internal/metrics"
+	"carf/internal/workload"
+)
+
+// TestMetricsReconcile runs a kernel with the interval sampler attached
+// and checks that the sampled series reconcile with the end-of-run
+// Stats totals: cumulative series end at the totals, and integrating
+// the interval IPC over the cycle deltas reproduces the committed
+// instruction count.
+func TestMetricsReconcile(t *testing.T) {
+	k, err := workload.ByName("qsort", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.New(core.DefaultParams())
+	cpu := New(DefaultConfig(), k.Prog, model)
+	reg := metrics.NewRegistry()
+	sampler := cpu.InstallMetrics(reg, 1000)
+	st, err := cpu.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := sampler.Series()
+	if len(ts.Samples) < 3 {
+		t.Fatalf("only %d samples for a %d-cycle run at interval 1000", len(ts.Samples), st.Cycles)
+	}
+	for i := 1; i < len(ts.Samples); i++ {
+		if ts.Samples[i].Cycle <= ts.Samples[i-1].Cycle {
+			t.Fatalf("sample cycles not increasing: %d after %d",
+				ts.Samples[i].Cycle, ts.Samples[i-1].Cycle)
+		}
+	}
+	last, _ := ts.Last()
+	if last.Cycle != st.Cycles {
+		t.Errorf("final sample at cycle %d, run ended at %d", last.Cycle, st.Cycles)
+	}
+
+	wantTotal := map[string]float64{
+		"pipeline.cycles":           float64(st.Cycles),
+		"pipeline.instructions":     float64(st.Instructions),
+		"pipeline.branches":         float64(st.Branches),
+		"pipeline.mispredicts":      float64(st.Mispredicts),
+		"pipeline.int_operands":     float64(st.IntOperands),
+		"core.similarity_hits":      float64(model.Stats().SimilarityHits),
+		"core.similarity_misses":    float64(model.Stats().SimilarityMisses),
+		"cache.l1d.accesses":        float64(cpu.Hierarchy().L1D.Stats().Accesses),
+		"predictor.gshare.predicts": float64(st.Branches),
+	}
+	for name, want := range wantTotal {
+		idx := ts.Index(name)
+		if idx < 0 {
+			t.Fatalf("series %q not registered", name)
+		}
+		if got := last.Values[idx]; got != want {
+			t.Errorf("%s final sample = %v, want %v", name, got, want)
+		}
+	}
+
+	// The similarity counters mirror the per-type write counts exactly.
+	cs := model.Stats()
+	if cs.SimilarityHits != cs.WritesByType[1] || cs.SimilarityMisses != cs.WritesByType[2] {
+		t.Errorf("similarity hit/miss (%d/%d) do not match short/long writes (%d/%d)",
+			cs.SimilarityHits, cs.SimilarityMisses, cs.WritesByType[1], cs.WritesByType[2])
+	}
+
+	// Integrate interval IPC over cycle deltas: must reproduce the
+	// committed instruction total (floating-point tolerance only).
+	ipcIdx := ts.Index("pipeline.ipc")
+	if ipcIdx < 0 {
+		t.Fatal("pipeline.ipc not registered")
+	}
+	var rebuilt, prevCycle float64
+	for _, sm := range ts.Samples {
+		rebuilt += sm.Values[ipcIdx] * (float64(sm.Cycle) - prevCycle)
+		prevCycle = float64(sm.Cycle)
+	}
+	if math.Abs(rebuilt-float64(st.Instructions)) > 1e-6*float64(st.Instructions)+1e-3 {
+		t.Errorf("interval IPC integrates to %.3f instructions, want %d", rebuilt, st.Instructions)
+	}
+
+	// Occupancy gauges stay within their structural bounds.
+	p := core.DefaultParams()
+	for name, bound := range map[string]float64{
+		"core.short_occupancy":   float64(p.NumShort),
+		"core.long_occupancy":    float64(p.NumLong),
+		"core.simple_occupancy":  float64(p.NumSimple),
+		"pipeline.rob_occupancy": float64(DefaultConfig().ROBSize),
+	} {
+		for _, v := range ts.Column(name) {
+			if v < 0 || v > bound {
+				t.Errorf("%s sample %v outside [0, %v]", name, v, bound)
+			}
+		}
+	}
+}
+
+// TestMetricsRequiredSeries pins the acceptance-level series names the
+// tooling documents: interval IPC, Short/Long occupancy, and cache
+// miss rate must exist for both organizations that expose them.
+func TestMetricsRequiredSeries(t *testing.T) {
+	k, err := workload.ByName("histo", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(DefaultConfig(), k.Prog, core.New(core.DefaultParams()))
+	reg := metrics.NewRegistry()
+	sampler := cpu.InstallMetrics(reg, 500)
+	if _, err := cpu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ts := sampler.Series()
+	for _, name := range []string{
+		"pipeline.ipc",
+		"core.short_occupancy",
+		"core.long_occupancy",
+		"cache.l1d.miss_rate",
+		"pipeline.commit_width",
+	} {
+		if ts.Index(name) < 0 {
+			t.Errorf("required series %q missing (have %v)", name, ts.Names)
+		}
+	}
+}

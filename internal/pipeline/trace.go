@@ -34,17 +34,31 @@ type Tracer interface {
 func (c *CPU) SetTracer(t Tracer) { c.tracer = t }
 
 // TraceBuffer is a Tracer that retains up to Cap events (0 = unbounded).
+// Events arriving after the buffer is full are counted in Dropped, never
+// lost silently.
 type TraceBuffer struct {
-	Cap    int
-	Events []TraceEvent
+	Cap     int
+	Events  []TraceEvent
+	Dropped uint64
 }
 
 // Trace implements Tracer.
 func (b *TraceBuffer) Trace(ev TraceEvent) {
 	if b.Cap > 0 && len(b.Events) >= b.Cap {
+		b.Dropped++
 		return
 	}
 	b.Events = append(b.Events, ev)
+}
+
+// Format renders the retained events as a pipeview table and, when the
+// buffer overflowed, reports how many events were dropped.
+func (b *TraceBuffer) Format() string {
+	out := FormatTrace(b.Events)
+	if b.Dropped > 0 {
+		out += fmt.Sprintf("... %d events dropped (buffer cap %d reached)\n", b.Dropped, b.Cap)
+	}
+	return out
 }
 
 // FormatTrace renders events as a pipeview table.

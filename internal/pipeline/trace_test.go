@@ -73,11 +73,40 @@ func TestTraceBufferCap(t *testing.T) {
 	cpu := New(DefaultConfig(), k.Prog, regfile.Baseline())
 	buf := &TraceBuffer{Cap: 10}
 	cpu.SetTracer(buf)
-	if _, err := cpu.Run(); err != nil {
+	st, err := cpu.Run()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(buf.Events) != 10 {
 		t.Errorf("buffer holds %d events, want 10", len(buf.Events))
+	}
+	if want := st.Instructions - 10; buf.Dropped != want {
+		t.Errorf("dropped = %d, want %d (no silent event loss)", buf.Dropped, want)
+	}
+	out := buf.Format()
+	if !strings.Contains(out, "events dropped") {
+		t.Errorf("Format does not report dropped events:\n%s", out)
+	}
+}
+
+func TestTraceBufferUnboundedNeverDrops(t *testing.T) {
+	k, err := workload.ByName("histo", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(DefaultConfig(), k.Prog, regfile.Baseline())
+	buf := &TraceBuffer{}
+	cpu.SetTracer(buf)
+	st, err := cpu.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Dropped != 0 || uint64(len(buf.Events)) != st.Instructions {
+		t.Errorf("unbounded buffer: %d events, %d dropped, want %d events, 0 dropped",
+			len(buf.Events), buf.Dropped, st.Instructions)
+	}
+	if out := buf.Format(); strings.Contains(out, "events dropped") {
+		t.Error("Format reports drops for an unbounded buffer")
 	}
 }
 

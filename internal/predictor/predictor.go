@@ -4,6 +4,8 @@
 // address stack for call/return pairs.
 package predictor
 
+import "carf/internal/metrics"
+
 // GshareConfig sizes the conditional predictor.
 type GshareConfig struct {
 	HistoryBits int // global history length; table has 2^HistoryBits counters
@@ -63,6 +65,16 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 	g.history = g.history<<1 | b2u(taken)
 }
 
+// RegisterMetrics registers prediction volume and interval accuracy
+// series on reg.
+func (g *Gshare) RegisterMetrics(reg *metrics.Registry) {
+	predicts := func() float64 { return float64(g.predicts) }
+	correct := func() float64 { return float64(g.correct) }
+	reg.GaugeFunc("predictor.gshare.predicts", predicts)
+	reg.GaugeFunc("predictor.gshare.correct", correct)
+	reg.RatioRate("predictor.gshare.accuracy", correct, predicts)
+}
+
 // Accuracy returns the fraction of correct direction predictions.
 func (g *Gshare) Accuracy() float64 {
 	if g.predicts == 0 {
@@ -116,6 +128,16 @@ func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 // Insert records the actual target of the control instruction at pc.
 func (b *BTB) Insert(pc, target uint64) {
 	b.entries[pc>>3&b.mask] = btbEntry{tag: pc, target: target, valid: true}
+}
+
+// RegisterMetrics registers lookup volume and interval hit-rate series
+// on reg.
+func (b *BTB) RegisterMetrics(reg *metrics.Registry) {
+	lookups := func() float64 { return float64(b.lookups) }
+	hits := func() float64 { return float64(b.hits) }
+	reg.GaugeFunc("predictor.btb.lookups", lookups)
+	reg.GaugeFunc("predictor.btb.hits", hits)
+	reg.RatioRate("predictor.btb.hit_rate", hits, lookups)
 }
 
 // HitRate returns the fraction of lookups that hit.

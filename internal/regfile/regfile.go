@@ -7,7 +7,11 @@
 // the same Model interface in internal/core.
 package regfile
 
-import "fmt"
+import (
+	"fmt"
+
+	"carf/internal/metrics"
+)
 
 // ValueType classifies a stored value per the paper's taxonomy (§2):
 // simple values sign-extend from the low d+n bits, short values share
@@ -218,6 +222,14 @@ func (c *Conventional) Files() []FileActivity {
 
 // FreeTags returns the number of unallocated tags (tests, stats).
 func (c *Conventional) FreeTags() int { return len(c.free) }
+
+// RegisterMetrics registers the file's occupancy and access-traffic
+// series on reg.
+func (c *Conventional) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("regfile.occupancy", func() float64 { return float64(c.spec.Entries - len(c.free)) })
+	reg.GaugeFunc("regfile.reads", func() float64 { return float64(c.reads) })
+	reg.GaugeFunc("regfile.writes", func() float64 { return float64(c.writes) })
+}
 
 // Reset implements Model.
 func (c *Conventional) Reset() {

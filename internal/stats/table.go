@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled grid of cells rendered as aligned text.
@@ -35,11 +36,14 @@ func (t *Table) Render() string {
 			cols = len(r)
 		}
 	}
+	// Column widths count runes, not bytes: a cell like "µs" or "±0.1"
+	// is multi-byte UTF-8 and byte-width padding would misalign every
+	// column after it.
 	widths := make([]int, cols)
 	measure := func(row []string) {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -61,10 +65,15 @@ func (t *Table) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
+			// Pad manually: fmt's %*s width counts bytes and would
+			// over-pad multi-byte cells.
+			pad := widths[i] - utf8.RuneCountInString(cell)
 			if i == 0 {
-				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
 			} else {
-				fmt.Fprintf(&b, "%*s", widths[i], cell)
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
 			}
 		}
 		b.WriteByte('\n')

@@ -31,6 +31,38 @@ func TestRenderAlignment(t *testing.T) {
 	}
 }
 
+// TestRenderRuneAlignment checks that multi-byte UTF-8 cells ("µs",
+// "±") align by display runes, not bytes: padding by byte length would
+// shift every column after a non-ASCII cell.
+func TestRenderRuneAlignment(t *testing.T) {
+	tb := Table{Header: []string{"metric", "value"}}
+	tb.AddRow("latency µs", "1.5")
+	tb.AddRow("error ±", "123.456")
+	tb.AddRow("plain ascii", "7")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, rule, three rows
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	end := -1
+	for _, l := range lines[2:] {
+		runes := []rune(l)
+		if end == -1 {
+			end = len(runes)
+		} else if len(runes) != end {
+			t.Errorf("row widths differ in runes:\n%q", out)
+		}
+	}
+	// "latency µs" is 10 runes but 11 bytes; byte-width padding would
+	// give it zero pad (same as 11-byte "plain ascii") and shift its
+	// value column one rune left.
+	for _, l := range lines[2:] {
+		if strings.HasPrefix(l, "latency µs") && !strings.HasPrefix(l, "latency µs ") {
+			t.Errorf("multi-byte cell got no pad: %q", l)
+		}
+	}
+}
+
 func TestRenderNoHeader(t *testing.T) {
 	tb := Table{}
 	tb.AddRow("x", "y")
