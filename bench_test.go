@@ -13,6 +13,7 @@ import (
 
 	"carf/internal/core"
 	"carf/internal/experiments"
+	"carf/internal/harden"
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
 	"carf/internal/vm"
@@ -197,6 +198,34 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cpu := pipeline.New(pipeline.DefaultConfig(), k.Prog, regfile.Baseline())
+		st, err := cpu.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += st.Instructions
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-inst/s")
+}
+
+// BenchmarkCheckedThroughput is BenchmarkSimulatorThroughput with the
+// full hardening layer on (lockstep co-simulation, invariant sweeps,
+// watchdog); comparing sim-inst/s between the two quantifies the cost of
+// -check. The unhardened benchmarks above are the no-overhead baseline:
+// with Check off the harden state is never allocated.
+func BenchmarkCheckedThroughput(b *testing.B) {
+	k, err := workload.ByName("histo", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Harden = harden.Options{Lockstep: true, SweepEvery: 4096, WatchdogAfter: 50000}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := pipeline.NewChecked(cfg, k.Prog, regfile.Baseline())
+		if err != nil {
+			b.Fatal(err)
+		}
 		st, err := cpu.Run()
 		if err != nil {
 			b.Fatal(err)

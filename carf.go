@@ -18,10 +18,12 @@ package carf
 
 import (
 	"fmt"
+	"math"
 
 	"carf/internal/core"
 	"carf/internal/energy"
 	"carf/internal/experiments"
+	"carf/internal/harden"
 	"carf/internal/metrics"
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
@@ -81,6 +83,47 @@ type Config struct {
 	// trace events in Result.Trace (0 disables tracing, negative is
 	// unbounded). Overflow is counted in Result.Trace.Dropped.
 	TraceEvents int
+
+	// Check enables the hardening layer for this run: lockstep
+	// co-simulation of the golden model at every commit, periodic
+	// invariant sweeps over the rename state and register file encodings,
+	// and a watchdog that converts a zero-commit hang into a structured
+	// error. Roughly doubles run time; off by default.
+	Check bool
+
+	// CheckInterval is the invariant-sweep period in cycles when Check is
+	// on (0 uses a default of 4096).
+	CheckInterval uint64
+}
+
+// DefaultCheckInterval is the invariant-sweep period used when Check is
+// on and CheckInterval is 0.
+const DefaultCheckInterval = 4096
+
+// checkWatchdogAfter is the zero-commit watchdog limit for checked runs:
+// far beyond any legitimate stall (the worst §3.2 Recovery State episode
+// is bounded by DeadlockSpillAfter = 200 cycles) but well under the
+// pipeline's blunt 100k idle limit.
+const checkWatchdogAfter = 50000
+
+// Validate reports whether cfg describes a runnable configuration:
+// a known organization, in-range content-aware parameters, and sane
+// scale. Run calls it; CLIs can call it early for a better message.
+func (c Config) Validate() error {
+	switch c.Organization {
+	case Baseline, Unlimited:
+		// Conventional files have no tunable parameters.
+	case ContentAware, ContentAwareCAM, "":
+		if err := c.params().Validate(); err != nil {
+			return fmt.Errorf("carf: %w", err)
+		}
+	default:
+		return fmt.Errorf("carf: unknown organization %q (known: %v)", c.Organization, Organizations())
+	}
+	if c.Scale < 0 || math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) {
+		return fmt.Errorf("carf: scale %v must be a non-negative finite number (0 means the default 1.0)", c.Scale)
+	}
+	return nil
 }
 
 func (c Config) params() core.Params {
@@ -158,6 +201,9 @@ func Kernels() []string { return workload.Names() }
 
 // Run simulates one kernel under cfg.
 func Run(kernel string, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1.0
 	}
@@ -171,7 +217,21 @@ func Run(kernel string, cfg Config) (Result, error) {
 	}
 	pcfg := pipeline.DefaultConfig()
 	pcfg.MaxInstructions = cfg.MaxInstructions
-	cpu := pipeline.New(pcfg, k.Prog, model)
+	if cfg.Check {
+		interval := cfg.CheckInterval
+		if interval == 0 {
+			interval = DefaultCheckInterval
+		}
+		pcfg.Harden = harden.Options{
+			Lockstep:      true,
+			SweepEvery:    interval,
+			WatchdogAfter: checkWatchdogAfter,
+		}
+	}
+	cpu, err := pipeline.NewChecked(pcfg, k.Prog, model)
+	if err != nil {
+		return Result{}, err
+	}
 	var sampler *metrics.Sampler
 	if cfg.MetricsInterval > 0 {
 		sampler = cpu.InstallMetrics(metrics.NewRegistry(), cfg.MetricsInterval)

@@ -102,7 +102,7 @@ func TestSeriesAndTraceExport(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 18 {
+	if len(Experiments()) != 19 {
 		t.Errorf("experiments = %d", len(Experiments()))
 	}
 	if DescribeExperiment("fig5") == "" {
@@ -117,6 +117,49 @@ func TestExperimentFacade(t *testing.T) {
 	}
 	if _, err := RunExperiment("nosuch", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment should error")
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	// A hardened run must produce the same measurements as a plain one —
+	// the checkers observe, they never steer.
+	checked, err := Run("qsort", Config{Scale: 0.05, Check: true})
+	if err != nil {
+		t.Fatalf("hardened run failed: %v", err)
+	}
+	plain, err := Run("qsort", Config{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked.Instructions != plain.Instructions || checked.Cycles != plain.Cycles {
+		t.Errorf("check mode changed the run: %d inst / %d cyc vs %d / %d",
+			checked.Instructions, checked.Cycles, plain.Instructions, plain.Cycles)
+	}
+	if _, err := Run("qsort", Config{Scale: 0.05, Check: true, CheckInterval: 256,
+		Organization: Baseline}); err != nil {
+		t.Errorf("hardened baseline run failed: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Organization: ContentAware, DPlusN: 20, ShortRegs: 8, LongRegs: 48},
+		{Organization: Unlimited, Scale: 1},
+		{Check: true, CheckInterval: 64},
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", cfg, err)
+		}
+	}
+	for name, cfg := range map[string]Config{
+		"unknown organization": {Organization: "bogus"},
+		"d+n too small":        {DPlusN: 2},
+		"negative scale":       {Scale: -1},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 	"runtime/pprof"
 
 	"carf"
+	"carf/internal/experiments"
+	"carf/internal/harden"
 	"carf/internal/metrics"
 	"carf/internal/pipeline"
 )
@@ -33,6 +35,13 @@ func main() {
 		scale  = flag.Float64("scale", 1.0, "workload scale factor")
 		maxi   = flag.Uint64("max-instructions", 0, "stop after N instructions (0 = run to completion)")
 		list   = flag.Bool("list", false, "list kernels and organizations, then exit")
+
+		check    = flag.Bool("check", false, "run hardened: lockstep co-simulation of the golden model, invariant sweeps, watchdog")
+		checkInt = flag.Uint64("check-interval", 0, "invariant-sweep period in cycles with -check (0 = default)")
+
+		inject      = flag.String("inject", "", "fault-injection mode: fault class to inject (simple-bit, short-bit, long-bit, free-list, ref-clear)")
+		injectCycle = flag.Uint64("inject-cycle", 2000, "cycle at which the injected fault lands")
+		injectSeed  = flag.Uint64("inject-seed", 1, "seed selecting the injection target deterministically")
 
 		metricsOut = flag.String("metrics-out", "", "write interval metric samples to this file (.csv for CSV, JSON lines otherwise)")
 		interval   = flag.Uint64("interval", metrics.DefaultInterval, "metric sampling interval in cycles")
@@ -52,6 +61,15 @@ func main() {
 		for _, o := range carf.Organizations() {
 			fmt.Printf("  %s\n", o)
 		}
+		fmt.Println("fault classes (-inject):")
+		for _, c := range harden.FaultClasses() {
+			fmt.Printf("  %s\n", c)
+		}
+		return
+	}
+
+	if *inject != "" {
+		runInjection(*kernel, *scale, *inject, *injectCycle, *injectSeed)
 		return
 	}
 
@@ -74,6 +92,11 @@ func main() {
 		LongRegs:        *long,
 		Scale:           *scale,
 		MaxInstructions: *maxi,
+		Check:           *check,
+		CheckInterval:   *checkInt,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 	if *metricsOut != "" {
 		if *interval == 0 {
@@ -163,6 +186,39 @@ func writeTrace(path string, buf *pipeline.TraceBuffer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runInjection runs one seeded fault injection on the content-aware file
+// and reports what was corrupted, which checker caught it, and after how
+// many cycles (the single-run version of the "faults" experiment).
+func runInjection(kernel string, scale float64, class string, cycle, seed uint64) {
+	fc, err := harden.ParseFaultClass(class)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := experiments.RunFaultInjection(kernel, scale, harden.Fault{Class: fc, Cycle: cycle, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kernel            %s\n", kernel)
+	fmt.Printf("fault             %s (seed %d, scheduled at cycle %d)\n", fc, seed, cycle)
+	if !out.Injected {
+		fmt.Println("injected          no (no suitable target appeared)")
+		return
+	}
+	fmt.Printf("injected          cycle %d: %s\n", out.InjectedAt, out.Detail)
+	if !out.Detected {
+		fmt.Println("detected          no (the corruption was benign for this run)")
+		return
+	}
+	fmt.Printf("detected          by %s", out.Detector)
+	if out.DetectedAt > 0 {
+		fmt.Printf(" at cycle %d (latency %d cycles)", out.DetectedAt, out.Latency())
+	}
+	fmt.Println()
+	if out.Err != nil {
+		fmt.Printf("error             %v\n", out.Err)
+	}
 }
 
 func fatal(err error) {

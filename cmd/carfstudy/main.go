@@ -36,6 +36,11 @@ func main() {
 		return
 	}
 
+	if err := (carf.Config{Scale: *scale}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "carfstudy:", err)
+		os.Exit(1)
+	}
+
 	names := carf.Experiments()
 	if *exps != "all" {
 		names = strings.Split(*exps, ",")

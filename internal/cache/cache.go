@@ -70,11 +70,11 @@ type Cache struct {
 	stats     Stats
 }
 
-// New builds a cache from cfg. It panics on an invalid configuration
-// (configurations are static in this codebase).
-func New(cfg Config) *Cache {
+// New builds a cache from cfg, rejecting invalid configurations with a
+// descriptive error (see Config.Valid).
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Valid(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
 	sets := make([][]way, numSets)
@@ -86,7 +86,7 @@ func New(cfg Config) *Cache {
 	for 1<<shift != cfg.LineBytes {
 		shift++
 	}
-	return &Cache{cfg: cfg, sets: sets, lineShift: shift, setMask: uint64(numSets - 1)}
+	return &Cache{cfg: cfg, sets: sets, lineShift: shift, setMask: uint64(numSets - 1)}, nil
 }
 
 // Access looks up addr, filling the line on a miss (LRU victim), and
@@ -161,6 +161,20 @@ func DefaultHierarchy() HierarchyConfig {
 	}
 }
 
+// Valid reports whether every level of the hierarchy is internally
+// consistent.
+func (c HierarchyConfig) Valid() error {
+	for _, lvl := range []Config{c.L1I, c.L1D, c.L2} {
+		if err := lvl.Valid(); err != nil {
+			return err
+		}
+	}
+	if c.MemLatency < 0 {
+		return fmt.Errorf("cache: negative memory latency %d", c.MemLatency)
+	}
+	return nil
+}
+
 // Hierarchy is the assembled memory system.
 type Hierarchy struct {
 	L1I *Cache
@@ -169,9 +183,25 @@ type Hierarchy struct {
 	cfg HierarchyConfig
 }
 
-// NewHierarchy builds the memory system from cfg.
-func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{L1I: New(cfg.L1I), L1D: New(cfg.L1D), L2: New(cfg.L2), cfg: cfg}
+// NewHierarchy builds the memory system from cfg, rejecting invalid
+// level configurations with a descriptive error.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MemLatency < 0 {
+		return nil, fmt.Errorf("cache: negative memory latency %d", cfg.MemLatency)
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, cfg: cfg}, nil
 }
 
 // FetchLatency returns the latency in cycles to fetch the instruction

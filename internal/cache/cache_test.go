@@ -27,8 +27,17 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
 func TestColdMissThenHit(t *testing.T) {
-	c := New(cfg4way())
+	c := mustNew(t, cfg4way())
 	if c.Access(0x1000) {
 		t.Error("cold access should miss")
 	}
@@ -51,7 +60,7 @@ func TestColdMissThenHit(t *testing.T) {
 }
 
 func TestLRUReplacement(t *testing.T) {
-	c := New(cfg4way()) // 16 sets, 4 ways
+	c := mustNew(t, cfg4way()) // 16 sets, 4 ways
 	// Five lines mapping to the same set (stride = 16 sets * 64B = 1024).
 	addrs := []uint64{0, 1024, 2048, 3072, 4096}
 	for _, a := range addrs[:4] {
@@ -71,7 +80,7 @@ func TestLRUReplacement(t *testing.T) {
 }
 
 func TestProbeDoesNotDisturb(t *testing.T) {
-	c := New(cfg4way())
+	c := mustNew(t, cfg4way())
 	c.Access(0x40)
 	before := c.Stats()
 	c.Probe(0x40)
@@ -82,7 +91,7 @@ func TestProbeDoesNotDisturb(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := New(cfg4way())
+	c := mustNew(t, cfg4way())
 	c.Access(0x40)
 	c.Reset()
 	if c.Probe(0x40) {
@@ -97,7 +106,10 @@ func TestReset(t *testing.T) {
 // misses after the cold pass, regardless of addresses chosen.
 func TestAssociativityProperty(t *testing.T) {
 	f := func(lineSeed uint64) bool {
-		c := New(cfg4way())
+		c, err := New(cfg4way())
+		if err != nil {
+			return false
+		}
 		base := (lineSeed % (1 << 20)) * 1024 // all map to set 0 region pattern
 		addrs := []uint64{base, base + 1024, base + 2048, base + 3072}
 		for _, a := range addrs {
@@ -116,7 +128,10 @@ func TestAssociativityProperty(t *testing.T) {
 }
 
 func TestHierarchyLatencies(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchy())
+	h, err := NewHierarchy(DefaultHierarchy())
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
 	// Cold: L1 miss + L2 miss + memory.
 	if got := h.DataLatency(0x5000); got != 1+10+100 {
 		t.Errorf("cold data access latency %d", got)
@@ -147,7 +162,10 @@ func TestHierarchyLatencies(t *testing.T) {
 }
 
 func TestHierarchyReset(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchy())
+	h, err := NewHierarchy(DefaultHierarchy())
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
 	h.DataLatency(0x100)
 	h.FetchLatency(0x100)
 	h.Reset()

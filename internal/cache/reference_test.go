@@ -50,7 +50,10 @@ func (r *refCache) access(addr uint64) bool {
 func TestCacheMatchesReferenceModel(t *testing.T) {
 	cfg := Config{Name: "ref", SizeBytes: 8192, LineBytes: 64, Ways: 4, HitLatency: 1}
 	for seed := int64(0); seed < 10; seed++ {
-		c := New(cfg)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
 		ref := newRef(cfg)
 		r := rand.New(rand.NewSource(seed))
 		addr := uint64(r.Intn(1 << 20))

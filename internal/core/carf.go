@@ -211,14 +211,26 @@ type File struct {
 	shortReads, shortWrites   uint64
 	longReads, longWrites     uint64
 
+	// lastArch is the Tarch vector computed at the most recent ROB
+	// interval; the invariant checker compares it against the stored
+	// reference bits (they only change together inside OnRobInterval).
+	lastArch []bool
+	// stuckTarc indexes a Short entry whose Tarch clear is dropped
+	// (harden.FaultRefClear); -1 when no such fault is injected.
+	stuckTarc int
+	// faults records internal errors (double frees) instead of
+	// panicking; the hardening layer surfaces them.
+	faults []string
+
 	stats Stats
 }
 
-// New builds a content-aware file from p. It panics on invalid
-// parameters (configurations are static).
+// New builds a content-aware file from p. Parameters must already have
+// passed Params.Validate (every construction path validates first), so
+// an invalid p here is a programming bug, not a runtime condition.
 func New(p Params) *File {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("core: New called with unvalidated params (invariant: callers run Params.Validate first): %v", err))
 	}
 	f := &File{p: p}
 	f.Reset()
@@ -254,6 +266,9 @@ func (f *File) Reset() {
 	f.simpleReads, f.simpleWrites = 0, 0
 	f.shortReads, f.shortWrites = 0, 0
 	f.longReads, f.longWrites = 0, 0
+	f.lastArch = nil
+	f.stuckTarc = -1
+	f.faults = nil
 	f.stats = Stats{}
 }
 
@@ -285,11 +300,18 @@ func (f *File) Alloc() (int, bool) {
 }
 
 // Free implements regfile.Model: Long and Simple resources return at
-// commit of the redefining instruction.
+// commit of the redefining instruction. A double free is recorded in
+// the fault log (surfaced by the hardening layer's invariant sweeps and
+// at the end of a run) instead of corrupting the free lists.
 func (f *File) Free(tag int) {
+	if tag < 0 || tag >= f.p.NumSimple {
+		f.faults = append(f.faults, fmt.Sprintf("core: free of out-of-range tag %d", tag))
+		return
+	}
 	e := &f.simple[tag]
 	if !e.inUse {
-		panic(fmt.Sprintf("core: double free of tag %d", tag))
+		f.faults = append(f.faults, fmt.Sprintf("core: double free of tag %d", tag))
+		return
 	}
 	f.releaseShort(e)
 	f.releaseLong(e)
@@ -601,6 +623,7 @@ func (f *File) OnRobInterval(archTags []int) {
 			arch[f.shortIndexOf(e)] = true
 		}
 	}
+	f.lastArch = arch
 	for i := range f.short {
 		s := &f.short[i]
 		if !s.live {
@@ -609,6 +632,11 @@ func (f *File) OnRobInterval(archTags []int) {
 		s.told = s.tcur || s.tarc
 		s.tcur = false
 		s.tarc = arch[i]
+		if i == f.stuckTarc {
+			// Injected fault: the interval clear of Tarch is dropped, so
+			// the entry looks architecturally referenced forever.
+			s.tarc = true
+		}
 		if !s.told && !s.tcur && !s.tarc && !referenced[i] {
 			s.live = false
 			f.stats.ShortFrees++

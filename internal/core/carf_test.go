@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -436,14 +437,16 @@ func TestSignExtend(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeIsLogged(t *testing.T) {
 	f := New(testParams())
 	tag, _ := f.Alloc()
 	f.Free(tag)
-	defer func() {
-		if recover() == nil {
-			t.Error("double free should panic")
-		}
-	}()
 	f.Free(tag)
+	faults := f.Faults()
+	if len(faults) == 0 {
+		t.Fatal("double free left no fault-log entry")
+	}
+	if !strings.Contains(faults[0], "double free") {
+		t.Errorf("fault log = %q, want a double-free report", faults[0])
+	}
 }

@@ -82,6 +82,7 @@ var registry = []experiment{
 	{"kernels", "per-kernel transparency: IPC on all organizations, mispredicts, write mix", Kernels},
 	{"phases", "phase variance: interval IPC and sub-file occupancy time series per kernel", Phases},
 	{"calibration", "energy-model robustness: conclusions across technology constants", Calibration},
+	{"faults", "hardening: fault-injection detection coverage and latency per fault class", Faults},
 }
 
 // Names lists experiment ids in paper order.

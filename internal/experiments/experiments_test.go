@@ -24,8 +24,8 @@ func pct(t *testing.T, cell string) float64 {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 18 {
-		t.Errorf("registry has %d experiments, want 18", len(names))
+	if len(names) != 19 {
+		t.Errorf("registry has %d experiments, want 19", len(names))
 	}
 	for _, n := range names {
 		if Describe(n) == "" {

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"carf/internal/harden"
+)
+
+// TestFaultCampaignCoverage runs the full seeded campaign once at small
+// scale and asserts the hardening layer's headline property: every fault
+// class is injectable on the campaign kernel and at least one seed per
+// class is detected by a checker, with a measured detection latency.
+// (Individual seeds may be benign — e.g. a corrupted Long entry freed
+// before any read — so the assertion is per-class, not per-seed.)
+func TestFaultCampaignCoverage(t *testing.T) {
+	for _, class := range harden.FaultClasses() {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			var injected, detected int
+			var anyLatency bool
+			for _, seed := range faultSeeds {
+				out, err := RunFaultInjection(faultKernel, 0.1, harden.Fault{
+					Class: class, Cycle: faultInjectCycle, Seed: seed,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if out.Injected {
+					injected++
+				}
+				if out.Detected {
+					detected++
+					if out.Injected && out.DetectedAt > out.InjectedAt {
+						anyLatency = true
+					}
+					if out.Detector == "" {
+						t.Errorf("seed %d: detected with no detector named", seed)
+					}
+				}
+			}
+			if injected == 0 {
+				t.Fatalf("no seed produced an injectable %s target", class)
+			}
+			if detected == 0 {
+				t.Fatalf("%d injections of %s, none detected", injected, class)
+			}
+			if !anyLatency {
+				t.Errorf("no %s detection reported a detection cycle after injection", class)
+			}
+		})
+	}
+}
+
+// TestFaultsExperiment renders the campaign table end to end through the
+// experiment registry, the way carfstudy invokes it.
+func TestFaultsExperiment(t *testing.T) {
+	res, err := Run("faults", Options{Scale: 0.1, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(res.Tables))
+	}
+	tab := res.Tables[0]
+	if got, want := len(tab.Rows), len(harden.FaultClasses()); got != want {
+		t.Fatalf("got %d rows, want one per fault class (%d)", got, want)
+	}
+	text := res.Render()
+	for _, class := range harden.FaultClasses() {
+		if !strings.Contains(text, class.String()) {
+			t.Errorf("rendered campaign lacks a %s row:\n%s", class, text)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package harden
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"carf/internal/isa"
+	"carf/internal/vm"
+)
+
+// tinyProgram is x1 = 5; x2 = x1 + 2; store x2; halt.
+func tinyProgram() *vm.Program {
+	return vm.NewProgram("tiny", 0x400000, []isa.Inst{
+		{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 5},
+		{Op: isa.ADDI, Rd: 2, Rs1: 1, Imm: 2},
+		{Op: isa.ST, Rs1: 3, Rs2: 2, Imm: 0},
+		{Op: isa.HALT},
+	}, nil, map[isa.Reg]uint64{3: 0x600000})
+}
+
+// goldenRecords executes the program on a reference machine and renders
+// each step as the CommitRecord a correct pipeline would report.
+func goldenRecords(t *testing.T, prog *vm.Program) []CommitRecord {
+	t.Helper()
+	m := vm.New(prog)
+	var out []CommitRecord
+	for seq := uint64(0); !m.Halted; seq++ {
+		pc := m.PC
+		inst, eff, err := m.Step()
+		if err != nil {
+			t.Fatalf("step %d: %v", seq, err)
+		}
+		rec := CommitRecord{Seq: seq, Cycle: seq, PC: pc, Inst: inst}
+		if eff.WritesReg && eff.RdClass == isa.RegInt {
+			rec.WritesInt = true
+			rec.Rd = eff.Rd
+			rec.RdValue = eff.RdValue
+			rec.ArchValue = eff.RdValue
+			rec.ArchOK = true
+		}
+		if eff.Store {
+			rec.Store = true
+			rec.Addr = eff.Addr
+			rec.Size = eff.Size
+			rec.StoreVal = eff.StoreVal
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestLockstepAcceptsGoldenStream(t *testing.T) {
+	prog := tinyProgram()
+	l := NewLockstep(prog, 4)
+	for _, rec := range goldenRecords(t, prog) {
+		if d := l.OnCommit(rec); d != nil {
+			t.Fatalf("golden stream diverged: %v", d)
+		}
+	}
+	if l.Steps() != 4 {
+		t.Errorf("checked %d commits, want 4", l.Steps())
+	}
+	if regs := l.ArchRegs(); regs[2] != 7 {
+		t.Errorf("golden x2 = %d, want 7", regs[2])
+	}
+	if got := len(l.Ring()); got != 4 {
+		t.Errorf("ring holds %d records, want 4", got)
+	}
+}
+
+func TestLockstepCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CommitRecord)
+		field  string
+	}{
+		{"rd value", func(r *CommitRecord) { r.RdValue ^= 1 << 40 }, "rd value"},
+		{"reconstruction", func(r *CommitRecord) { r.ArchValue ^= 1 << 40 }, "register file reconstruction"},
+		{"pc", func(r *CommitRecord) { r.PC += 8 }, "pc"},
+		{"store value", func(r *CommitRecord) { r.StoreVal ^= 2 }, "store value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := tinyProgram()
+			l := NewLockstep(prog, 4)
+			var div *DivergenceError
+			for _, rec := range goldenRecords(t, prog) {
+				// Mutate only records the corruption applies to: stores for
+				// the store case, integer writes for the rd cases, any for pc.
+				mutated := rec
+				switch {
+				case tc.name == "store value" && rec.Store,
+					tc.name == "pc",
+					tc.name != "store value" && tc.name != "pc" && rec.WritesInt:
+					tc.mutate(&mutated)
+				}
+				if div = l.OnCommit(mutated); div != nil {
+					break
+				}
+			}
+			if div == nil {
+				t.Fatal("corruption went undetected")
+			}
+			if div.Field != tc.field {
+				t.Errorf("detected as %q, want %q (error: %v)", div.Field, tc.field, div)
+			}
+		})
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	w := NewWatchdog(10)
+	commits := uint64(0)
+	for cycle := uint64(0); cycle < 100; cycle++ {
+		commits++ // steady progress
+		if stalled, tripped := w.Observe(cycle, commits); tripped {
+			t.Fatalf("tripped at cycle %d (stalled %d) despite per-cycle commits", cycle, stalled)
+		}
+	}
+	var tripCycle uint64
+	for cycle := uint64(100); cycle < 200; cycle++ {
+		if _, tripped := w.Observe(cycle, commits); tripped {
+			tripCycle = cycle
+			break
+		}
+	}
+	if tripCycle == 0 {
+		t.Fatal("watchdog never tripped on a zero-commit stretch")
+	}
+	if tripCycle > 115 {
+		t.Errorf("tripped at cycle %d, expected within a few cycles of the limit", tripCycle)
+	}
+	// A single commit resets the countdown.
+	w2 := NewWatchdog(10)
+	c := uint64(0)
+	for cycle := uint64(0); cycle < 500; cycle++ {
+		if cycle%8 == 0 {
+			c++
+		}
+		if _, tripped := w2.Observe(cycle, c); tripped {
+			t.Fatalf("tripped at cycle %d despite commits every 8 cycles", cycle)
+		}
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed, different sequence")
+		}
+	}
+	if NewRand(1).Next() == NewRand(2).Next() {
+		t.Error("different seeds produced the same first value")
+	}
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestFaultClassRoundTrip(t *testing.T) {
+	for _, c := range FaultClasses() {
+		got, err := ParseFaultClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseFaultClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseFaultClass("no-such-fault"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestOutcomeLatency(t *testing.T) {
+	o := Outcome{Injected: true, InjectedAt: 100, Detected: true, DetectedAt: 164}
+	if got := o.Latency(); got != 64 {
+		t.Errorf("latency %d, want 64", got)
+	}
+	if (Outcome{Detected: false}).Latency() != 0 {
+		t.Error("undetected outcome has non-zero latency")
+	}
+}
+
+func TestBundleFormat(t *testing.T) {
+	b := &Bundle{
+		Cycle: 1234, PC: 0x400010, LastCommitCycle: 1200,
+		Notes:   []string{"instructions=99"},
+		Metrics: []Metric{{Name: "pipeline.ipc", Value: 1.5}},
+		Commits: []CommitRecord{{Seq: 9, Cycle: 1200, PC: 0x400008, WritesInt: true, Rd: 2, RdValue: 7}},
+		Trace:   []string{"seq=9 pc=0x400008"},
+	}
+	s := b.Format()
+	for _, want := range []string{"cycle 1234", "instructions=99", "pipeline.ipc", "seq=9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bundle missing %q:\n%s", want, s)
+		}
+	}
+	var nilB *Bundle
+	if nilB.Format() != "" {
+		t.Error("nil bundle formats non-empty")
+	}
+}
+
+func TestErrorTypes(t *testing.T) {
+	var err error = &DivergenceError{Cycle: 5, Field: "rd value", Got: 1, Want: 2}
+	var div *DivergenceError
+	if !errors.As(err, &div) || !strings.Contains(err.Error(), "rd value") {
+		t.Errorf("divergence error: %v", err)
+	}
+	err = &InvariantError{Cycle: 7, Violations: []Violation{{Check: "freelist", Detail: "tag 3 double free"}}}
+	if !strings.Contains(err.Error(), "freelist: tag 3 double free") {
+		t.Errorf("invariant error: %v", err)
+	}
+	err = &DeadlockError{Cycle: 900, LastCommitCycle: 100, StalledFor: 800, PC: 0x400000}
+	if !strings.Contains(err.Error(), "no commit for 800 cycles") {
+		t.Errorf("deadlock error: %v", err)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	if (Options{}).Enabled() {
+		t.Error("zero Options reports enabled")
+	}
+	for _, o := range []Options{{Lockstep: true}, {SweepEvery: 64}, {WatchdogAfter: 100}} {
+		if !o.Enabled() {
+			t.Errorf("%+v reports disabled", o)
+		}
+	}
+	if (Options{}).Ring() != DefaultRingSize {
+		t.Error("default ring size not applied")
+	}
+	if (Options{RingSize: 7}).Ring() != 7 {
+		t.Error("explicit ring size ignored")
+	}
+}

@@ -1,0 +1,37 @@
+package harden
+
+// Watchdog detects zero-commit livelock and deadlock: a machine that
+// keeps cycling without retiring instructions — a rename stall that
+// never clears, a stuck §3.2 Recovery State, a scheduling bug. The
+// pipeline feeds it once per cycle; when the commit counter stays flat
+// for more than Limit cycles the watchdog trips and the run ends with a
+// DeadlockError instead of looping forever.
+type Watchdog struct {
+	limit       uint64
+	lastCommits uint64
+	lastChange  uint64
+	primed      bool
+}
+
+// NewWatchdog builds a watchdog that trips after limit zero-commit
+// cycles.
+func NewWatchdog(limit uint64) *Watchdog {
+	return &Watchdog{limit: limit}
+}
+
+// Limit returns the configured zero-commit cycle budget.
+func (w *Watchdog) Limit() uint64 { return w.limit }
+
+// Observe feeds one cycle's cumulative commit count. It returns how many
+// cycles the machine has gone without a commit and whether that exceeds
+// the limit.
+func (w *Watchdog) Observe(cycle, commits uint64) (stalledFor uint64, tripped bool) {
+	if !w.primed || commits != w.lastCommits {
+		w.primed = true
+		w.lastCommits = commits
+		w.lastChange = cycle
+		return 0, false
+	}
+	stalledFor = cycle - w.lastChange
+	return stalledFor, stalledFor > w.limit
+}

@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEncode feeds arbitrary bytes to the decoder: it must either
+// reject them or produce an instruction that re-encodes and re-decodes
+// to the same thing — never panic, never lose information. (Exact byte
+// round-trips are not required: don't-care bits in the encoding, such as
+// the imm field of a register-register op, decode to zero.)
+func FuzzDecodeEncode(f *testing.F) {
+	seed := []Inst{
+		{Op: ADDI, Rd: 1, Rs1: 0, Imm: 5},
+		{Op: ADD, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: LIMM, Rd: 7, Imm: -1},
+		{Op: LD, Rd: 2, Rs1: 1, Imm: 8},
+		{Op: BEQ, Rs1: 1, Rs2: 2, Imm: -16},
+		{Op: HALT},
+		{Op: ADDI, Rd: 31, Rs1: 31, Imm: immMax},
+		{Op: ADDI, Rd: 31, Rs1: 31, Imm: immMin},
+	}
+	for _, inst := range seed {
+		b, err := Encode(nil, inst)
+		if err != nil {
+			f.Fatalf("seed %v: %v", inst, err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		re, err := Encode(nil, inst)
+		if err != nil {
+			t.Fatalf("decoded instruction %v fails to encode: %v", inst, err)
+		}
+		if len(re) != n {
+			t.Fatalf("re-encoding %v produced %d bytes, decode consumed %d", inst, len(re), n)
+		}
+		inst2, n2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded %v fails to decode: %v", inst, err)
+		}
+		if inst2 != inst || n2 != n {
+			t.Fatalf("round trip changed the instruction: %v (%d bytes) -> %v (%d bytes)", inst, n, inst2, n2)
+		}
+		// Canonical encodings (where the don't-care bits are zero) must
+		// round-trip byte-exactly.
+		re2, err := Encode(nil, inst2)
+		if err != nil || !bytes.Equal(re, re2) {
+			t.Fatalf("canonical encoding unstable: %x vs %x (%v)", re, re2, err)
+		}
+	})
+}

@@ -16,7 +16,11 @@
 package pipeline
 
 import (
+	"fmt"
+
 	"carf/internal/cache"
+	"carf/internal/harden"
+	"carf/internal/isa"
 	"carf/internal/predictor"
 )
 
@@ -97,6 +101,12 @@ type Config struct {
 
 	// MaxInstructions bounds a run (0 = run to HALT).
 	MaxInstructions uint64
+
+	// Harden enables the runtime verification layer: lockstep
+	// co-simulation at commit, periodic invariant sweeps, and the
+	// zero-commit watchdog. The zero value (all checkers off) is the
+	// fast path and adds no per-cycle work.
+	Harden harden.Options
 }
 
 // DefaultConfig returns the Table 1 processor.
@@ -134,4 +144,62 @@ func (c Config) longStallThreshold() int {
 		return c.LongStallThreshold
 	}
 	return c.IssueWidth
+}
+
+// Validate checks the configuration for values that would build a
+// non-functional machine: zero widths, queues, units, or ports,
+// an FP file too small for the architectural registers, out-of-range
+// cluster counts, and inconsistent cache geometry. NewChecked and the
+// CLIs call it before a run starts; New assumes it has been run.
+func (c Config) Validate() error {
+	positive := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth},
+		{"IssueWidth", c.IssueWidth},
+		{"CommitWidth", c.CommitWidth},
+		{"ROBSize", c.ROBSize},
+		{"IntQueue", c.IntQueue},
+		{"FPQueue", c.FPQueue},
+		{"LSQSize", c.LSQSize},
+		{"IntUnits", c.IntUnits},
+		{"FPUnits", c.FPUnits},
+		{"IntLatency", c.IntLatency},
+		{"FPLatency", c.FPLatency},
+		{"DCachePorts", c.DCachePorts},
+		{"BTBEntries", c.BTBEntries},
+	}
+	for _, p := range positive {
+		if p.v <= 0 {
+			return fmt.Errorf("pipeline: %s %d must be positive", p.name, p.v)
+		}
+	}
+	nonNegative := []struct {
+		name string
+		v    int
+	}{
+		{"FrontLatency", c.FrontLatency},
+		{"BypassDepth", c.BypassDepth},
+		{"LongStallThreshold", c.LongStallThreshold},
+		{"DeadlockSpillAfter", c.DeadlockSpillAfter},
+		{"SamplePeriod", c.SamplePeriod},
+		{"RASDepth", c.RASDepth},
+	}
+	for _, p := range nonNegative {
+		if p.v < 0 {
+			return fmt.Errorf("pipeline: %s %d must not be negative", p.name, p.v)
+		}
+	}
+	if c.NumFPRegs <= isa.NumRegs {
+		return fmt.Errorf("pipeline: NumFPRegs %d must exceed the %d architectural registers (renaming needs headroom)",
+			c.NumFPRegs, isa.NumRegs)
+	}
+	if c.Clusters < 0 || c.Clusters > 2 {
+		return fmt.Errorf("pipeline: Clusters %d must be 0, 1, or 2", c.Clusters)
+	}
+	if err := c.Hierarchy.Valid(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"carf/internal/cache"
+	"carf/internal/harden"
 	"carf/internal/isa"
 	"carf/internal/metrics"
 	"carf/internal/predictor"
@@ -151,6 +152,14 @@ type CPU struct {
 	// (possibly shared) integer file.
 	longOwned int
 
+	// mreg is the metrics registry installed by InstallMetrics (nil when
+	// metrics are off); hardening failures snapshot it into the bundle.
+	mreg *metrics.Registry
+
+	// hard is the hardening state (nil when Config.Harden is all off —
+	// the fast path).
+	hard *hardenState
+
 	stats Stats
 }
 
@@ -211,16 +220,25 @@ func (s Stats) BypassRate() float64 {
 }
 
 // New builds a CPU running prog with the given integer register file
-// organization.
+// organization. The configuration and model must already be valid (see
+// Config.Validate and NewChecked, which return errors instead); New
+// panics on a config that cannot build a machine.
 func New(cfg Config, prog *vm.Program, model regfile.Model) *CPU {
+	hier, err := cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: New called with unvalidated config (invariant: callers run Config.Validate first): %v", err))
+	}
 	c := &CPU{
 		cfg:    cfg,
 		mach:   vm.New(prog),
 		model:  model,
-		hier:   cache.NewHierarchy(cfg.Hierarchy),
+		hier:   hier,
 		gshare: predictor.NewGshare(cfg.Gshare),
 		btb:    predictor.NewBTB(cfg.BTBEntries),
 		ras:    predictor.NewRAS(cfg.RASDepth),
+	}
+	if cfg.Harden.Enabled() {
+		c.hard = newHardenState(cfg.Harden, prog)
 	}
 	c.lastFetchLine = ^uint64(0)
 	c.readStages = model.ReadStages()
@@ -263,7 +281,8 @@ func New(cfg Config, prog *vm.Program, model regfile.Model) *CPU {
 	for r := 0; r < isa.NumRegs; r++ {
 		tag, ok := model.Alloc()
 		if !ok {
-			panic("pipeline: register file too small for architectural state")
+			panic(fmt.Sprintf("pipeline: register file %s too small for the %d architectural registers (invariant: NewChecked rejects such models)",
+				model.Name(), isa.NumRegs))
 		}
 		v := c.mach.X[r]
 		model.ForceWrite(tag, v)
@@ -311,14 +330,32 @@ func (c *CPU) freeFP(tag int) {
 }
 
 // Run simulates until the program's HALT commits (or the instruction
-// budget is exhausted) and returns the statistics.
+// budget is exhausted) and returns the statistics. With hardening
+// enabled, the first lockstep divergence or invariant violation ends
+// the run with its structured error, and the watchdog converts a
+// zero-commit hang into a harden.DeadlockError; without it, a blunt
+// idle limit still bounds a hung machine.
 func (c *CPU) Run() (Stats, error) {
 	const idleLimit = 100000
 	var idle int64
 	lastInsts := uint64(0)
+	watchdog := c.hard != nil && c.hard.wd != nil
 	for !c.done {
 		c.cycle()
-		if c.stats.Instructions == lastInsts {
+		if c.hard != nil && c.hard.err != nil {
+			return c.stats, c.hard.err
+		}
+		if watchdog {
+			if stalled, tripped := c.hard.wd.Observe(c.stats.Cycles, c.stats.Instructions); tripped {
+				return c.stats, &harden.DeadlockError{
+					Cycle:           c.stats.Cycles,
+					LastCommitCycle: uint64(max64(c.lastCommitCycle, 0)),
+					StalledFor:      stalled,
+					PC:              c.mach.PC,
+					Bundle:          c.buildBundle(),
+				}
+			}
+		} else if c.stats.Instructions == lastInsts {
 			idle++
 			if idle > idleLimit {
 				return c.stats, fmt.Errorf("pipeline: no commit progress for %d cycles at cycle %d (pc %#x)", idleLimit, c.now, c.mach.PC)
@@ -334,7 +371,21 @@ func (c *CPU) Run() (Stats, error) {
 	if c.msampler != nil {
 		c.msampler.Final(c.stats.Cycles)
 	}
+	// Internal faults (double frees) are recorded instead of panicking;
+	// a run that accumulated any did not execute correctly.
+	if fr, ok := c.model.(harden.FaultReporter); ok {
+		if faults := fr.Faults(); len(faults) > 0 {
+			return c.stats, fmt.Errorf("pipeline: %d register file fault(s), first: %s", len(faults), faults[0])
+		}
+	}
 	return c.stats, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Stats returns the statistics accumulated so far.
@@ -345,6 +396,9 @@ func (c *CPU) Stats() Stats { return c.stats }
 func (c *CPU) cycle() {
 	c.readsUsed, c.writesUsed = 0, 0
 	instr0, seq0 := c.stats.Instructions, c.seq
+	if c.hard != nil && len(c.hard.pending) > 0 {
+		c.tryInjectFaults()
+	}
 	c.commit()
 	if c.done {
 		return
@@ -363,6 +417,14 @@ func (c *CPU) cycle() {
 	}
 	if f, ok := c.model.(liveLongSampler); ok && c.now%128 == 0 {
 		f.SampleLiveLong()
+	}
+	if c.hard != nil && c.hard.err == nil {
+		if n := c.hard.opts.SweepEvery; n > 0 && c.now > 0 && uint64(c.now)%n == 0 {
+			if vs := c.checkInvariants(); len(vs) > 0 {
+				c.hard.err = &harden.InvariantError{Cycle: uint64(c.now), Violations: vs, Bundle: c.buildBundle()}
+				c.done = true
+			}
+		}
 	}
 	c.now++
 	c.stats.Cycles++
@@ -396,6 +458,13 @@ func (c *CPU) commit() {
 		in.committed = true
 		c.stats.Instructions++
 		c.lastCommitCycle = c.now
+		if c.hard != nil {
+			if err := c.checkCommit(in); err != nil {
+				c.hard.err = err
+				c.done = true
+				return
+			}
+		}
 		if c.tracer != nil {
 			c.tracer.Trace(TraceEvent{
 				Seq: in.seq, PC: in.pc, Inst: in.inst,

@@ -77,6 +77,7 @@ func (c *CPU) InstallMetrics(reg *metrics.Registry, interval uint64) *metrics.Sa
 	c.gshare.RegisterMetrics(reg)
 	c.btb.RegisterMetrics(reg)
 
+	c.mreg = reg
 	c.msampler = metrics.NewSampler(reg, interval)
 	return c.msampler
 }

@@ -64,7 +64,10 @@ func NewSMT(cfg Config, progs [2]*vm.Program, model regfile.Model) *SMT {
 	half.DCachePorts = max1(cfg.DCachePorts / 2)
 	half.NumFPRegs = max1(cfg.NumFPRegs / 2)
 
-	hier := cache.NewHierarchy(cfg.Hierarchy)
+	hier, err := cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: NewSMT called with unvalidated config (invariant: callers run Config.Validate first): %v", err))
+	}
 	s := &SMT{}
 	for i, prog := range progs {
 		cpu := New(half, prog, model)

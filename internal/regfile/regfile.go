@@ -10,6 +10,7 @@ package regfile
 import (
 	"fmt"
 
+	"carf/internal/harden"
 	"carf/internal/metrics"
 )
 
@@ -121,6 +122,7 @@ type Conventional struct {
 	wrote  []bool
 	reads  uint64
 	writes uint64
+	faults []string
 }
 
 // NewConventional builds a flat 64-bit physical register file.
@@ -162,10 +164,13 @@ func (c *Conventional) Alloc() (int, bool) {
 	return tag, true
 }
 
-// Free implements Model.
+// Free implements Model. A double free is recorded in the fault log
+// (surfaced by the hardening layer's invariant sweeps and at the end of
+// a run) instead of corrupting the free list.
 func (c *Conventional) Free(tag int) {
-	if !c.inUse[tag] {
-		panic(fmt.Sprintf("regfile %s: double free of tag %d", c.name, tag))
+	if tag < 0 || tag >= c.spec.Entries || !c.inUse[tag] {
+		c.faults = append(c.faults, fmt.Sprintf("regfile %s: double free of tag %d", c.name, tag))
+		return
 	}
 	c.inUse[tag] = false
 	c.wrote[tag] = false
@@ -223,6 +228,45 @@ func (c *Conventional) Files() []FileActivity {
 // FreeTags returns the number of unallocated tags (tests, stats).
 func (c *Conventional) FreeTags() int { return len(c.free) }
 
+// Faults implements harden.FaultReporter: internal faults recorded
+// instead of panicking (double frees).
+func (c *Conventional) Faults() []string { return c.faults }
+
+// CheckInvariants implements harden.Checker: free-list accounting for
+// the flat file. Every tag is either allocated or on the free list,
+// exactly once.
+func (c *Conventional) CheckInvariants() []harden.Violation {
+	var vs []harden.Violation
+	seen := make([]bool, c.spec.Entries)
+	for _, tag := range c.free {
+		if tag < 0 || tag >= c.spec.Entries {
+			vs = append(vs, harden.Violation{Check: "freelist",
+				Detail: fmt.Sprintf("%s: free-list tag %d out of range", c.name, tag)})
+			continue
+		}
+		if seen[tag] {
+			vs = append(vs, harden.Violation{Check: "freelist",
+				Detail: fmt.Sprintf("%s: tag %d on the free list twice", c.name, tag)})
+		}
+		seen[tag] = true
+		if c.inUse[tag] {
+			vs = append(vs, harden.Violation{Check: "freelist",
+				Detail: fmt.Sprintf("%s: tag %d both in use and on the free list", c.name, tag)})
+		}
+	}
+	inUse := 0
+	for _, u := range c.inUse {
+		if u {
+			inUse++
+		}
+	}
+	if inUse+len(c.free) != c.spec.Entries {
+		vs = append(vs, harden.Violation{Check: "freelist",
+			Detail: fmt.Sprintf("%s: %d in use + %d free != %d entries", c.name, inUse, len(c.free), c.spec.Entries)})
+	}
+	return vs
+}
+
 // RegisterMetrics registers the file's occupancy and access-traffic
 // series on reg.
 func (c *Conventional) RegisterMetrics(reg *metrics.Registry) {
@@ -242,4 +286,5 @@ func (c *Conventional) Reset() {
 	c.values = make([]uint64, n)
 	c.wrote = make([]bool, n)
 	c.reads, c.writes = 0, 0
+	c.faults = nil
 }

@@ -1,6 +1,9 @@
 package regfile
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestAllocFreeCycle(t *testing.T) {
 	c := NewConventional("t", 4, 2, 2)
@@ -26,16 +29,18 @@ func TestAllocFreeCycle(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeIsLogged(t *testing.T) {
 	c := NewConventional("t", 2, 1, 1)
 	tag, _ := c.Alloc()
 	c.Free(tag)
-	defer func() {
-		if recover() == nil {
-			t.Error("double free should panic")
-		}
-	}()
 	c.Free(tag)
+	faults := c.Faults()
+	if len(faults) == 0 {
+		t.Fatal("double free left no fault-log entry")
+	}
+	if !strings.Contains(faults[0], "double free") {
+		t.Errorf("fault log = %q, want a double-free report", faults[0])
+	}
 }
 
 func TestReadWriteAccounting(t *testing.T) {

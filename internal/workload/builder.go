@@ -319,7 +319,7 @@ func (b *Builder) Build() (*vm.Program, error) {
 func (b *Builder) MustBuild() *vm.Program {
 	p, err := b.Build()
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("workload: MustBuild(%s) failed (invariant: the static kernels are valid at every scale): %v", b.name, err))
 	}
 	return p
 }

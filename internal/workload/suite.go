@@ -94,10 +94,20 @@ func Names() []string {
 	return names
 }
 
-// ByName builds the named kernel at the given scale.
-func ByName(name string, scale float64) (Kernel, error) {
+// ByName builds the named kernel at the given scale. A panic inside a
+// kernel factory (a bug exposed by an extreme scale) is converted into
+// an error rather than taking the caller down.
+func ByName(name string, scale float64) (k Kernel, err error) {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Kernel{}, fmt.Errorf("workload: scale %v must be a positive finite number", scale)
+	}
 	for _, f := range factories {
 		if f.name == name {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("workload: building kernel %q at scale %v panicked: %v", name, scale, r)
+				}
+			}()
 			return f.make(scale), nil
 		}
 	}
