@@ -235,6 +235,36 @@ func BenchmarkCheckedThroughput(b *testing.B) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-inst/s")
 }
 
+// BenchmarkProfiledThroughput measures the attribution profiler's cost
+// the same way BenchmarkCheckedThroughput measures the hardening
+// layer's: identical runs with the profiler off and on, sim-inst/s as
+// the comparison metric. The "off" run pays only the per-cycle nil
+// check, so the two sub-benchmarks bound the opt-in overhead.
+func BenchmarkProfiledThroughput(b *testing.B) {
+	k, err := workload.ByName("histo", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, profiled bool) {
+		var insts uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cpu := pipeline.New(pipeline.DefaultConfig(), k.Prog, regfile.Baseline())
+			if profiled {
+				cpu.InstallProfiler()
+			}
+			st, err := cpu.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts += st.Instructions
+		}
+		b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-inst/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkCARFWritePath measures the core classification/write path in
 // isolation.
 func BenchmarkCARFWritePath(b *testing.B) {

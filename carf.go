@@ -26,6 +26,7 @@ import (
 	"carf/internal/harden"
 	"carf/internal/metrics"
 	"carf/internal/pipeline"
+	"carf/internal/profile"
 	"carf/internal/regfile"
 	"carf/internal/workload"
 )
@@ -94,6 +95,13 @@ type Config struct {
 	// CheckInterval is the invariant-sweep period in cycles when Check is
 	// on (0 uses a default of 4096).
 	CheckInterval uint64
+
+	// Profile attaches the attribution profiler: a CPI stack charging
+	// every commit-slot deficit to one blame category, and a per-PC
+	// profile of commits, mispredictions, cache misses, value classes,
+	// and spills. Results land in Result.Profile. Off by default (the
+	// simulation path then pays one nil check per cycle).
+	Profile bool
 }
 
 // DefaultCheckInterval is the invariant-sweep period used when Check is
@@ -194,6 +202,10 @@ type Result struct {
 	// Trace holds the retained pipeline trace (Config.TraceEvents != 0
 	// only); convert it with pipeline.ChromeTraceEvents for Perfetto.
 	Trace *pipeline.TraceBuffer
+
+	// Profile holds the CPI stack and per-PC attribution profile
+	// (Config.Profile only); export it with its Write methods.
+	Profile *profile.Profiler
 }
 
 // Kernels lists the benchmark kernel names (14 integer, 8 FP).
@@ -241,6 +253,10 @@ func Run(kernel string, cfg Config) (Result, error) {
 		trace = &pipeline.TraceBuffer{Cap: max(cfg.TraceEvents, 0)}
 		cpu.SetTracer(trace)
 	}
+	var prof *profile.Profiler
+	if cfg.Profile {
+		prof = cpu.InstallProfiler()
+	}
 	st, err := cpu.Run()
 	if err != nil {
 		return Result{}, err
@@ -276,6 +292,7 @@ func Run(kernel string, cfg Config) (Result, error) {
 		RegFileAccessTime: rep.WorstTime,
 		RecoveryStalls:    st.RecoveryStallCycles,
 		Trace:             trace,
+		Profile:           prof,
 	}
 	if sampler != nil {
 		series := sampler.Series()

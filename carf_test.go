@@ -102,7 +102,7 @@ func TestSeriesAndTraceExport(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 19 {
+	if len(Experiments()) != 20 {
 		t.Errorf("experiments = %d", len(Experiments()))
 	}
 	if DescribeExperiment("fig5") == "" {

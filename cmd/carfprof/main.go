@@ -21,6 +21,7 @@ import (
 	"carf/internal/metrics"
 	"carf/internal/oracle"
 	"carf/internal/pipeline"
+	"carf/internal/profile"
 	"carf/internal/regfile"
 	"carf/internal/stats"
 	"carf/internal/vm"
@@ -32,8 +33,9 @@ func main() {
 		kernel     = flag.String("kernel", "", "built-in kernel to profile (alternative to a .s file argument)")
 		scale      = flag.Float64("scale", 0.5, "workload scale for built-in kernels")
 		period     = flag.Int("period", 64, "live-value sampling period in cycles")
-		metricsOut = flag.String("metrics-out", "", "write interval metric samples of the content-aware pass to this file (.csv for CSV, JSON lines otherwise)")
+		metricsOut = flag.String("metrics-out", "", "write interval metric samples of the content-aware pass to this file (.jsonl/.json for JSON lines, .csv for CSV)")
 		interval   = flag.Uint64("interval", metrics.DefaultInterval, "metric sampling interval in cycles")
+		topN       = flag.Int("top", 10, "merged static+dynamic report: N hottest static instructions with CPI stack (0 disables)")
 	)
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 	}
 	fmt.Printf("profiling %s (%d static instructions)\n\n", prog.Name, len(prog.Code))
 
-	if err := profile(prog, *period, *metricsOut, *interval); err != nil {
+	if err := profileRun(prog, *period, *metricsOut, *interval, *topN); err != nil {
 		fmt.Fprintln(os.Stderr, "carfprof:", err)
 		os.Exit(1)
 	}
@@ -71,7 +73,7 @@ func loadProgram(kernel string, scale float64, args []string) (*vm.Program, erro
 	}
 }
 
-func profile(prog *vm.Program, period int, metricsOut string, interval uint64) error {
+func profileRun(prog *vm.Program, period int, metricsOut string, interval uint64, topN int) error {
 	// Pass 1: functional run for the instruction mix and memory streams.
 	mix := map[isa.Class]uint64{}
 	addrStream := oracle.NewStreamAnalyzer(16, 64)
@@ -152,12 +154,22 @@ func profile(prog *vm.Program, period int, metricsOut string, interval uint64) e
 	mem.AddRow("data", stats.Pct(dataStream.Coverage()))
 	fmt.Println(mem.Render())
 
-	// Pass 3: what the content-aware file would do with it.
+	// Pass 3: what the content-aware file would do with it, with the
+	// attribution profiler watching.
 	model := core.New(core.DefaultParams())
 	cpu2 := pipeline.New(pipeline.DefaultConfig(), prog, model)
 	var sampler *metrics.Sampler
+	var metricsFormat metrics.Format
 	if metricsOut != "" {
+		var err error
+		if metricsFormat, err = metrics.FormatForPath(metricsOut); err != nil {
+			return err
+		}
 		sampler = cpu2.InstallMetrics(metrics.NewRegistry(), interval)
+	}
+	var prof *profile.Profiler
+	if topN > 0 {
+		prof = cpu2.InstallProfiler()
 	}
 	st2, err := cpu2.Run()
 	if err != nil {
@@ -169,7 +181,7 @@ func profile(prog *vm.Program, period int, metricsOut string, interval uint64) e
 		if err != nil {
 			return err
 		}
-		if err := metrics.Write(f, ts, metrics.FormatForPath(metricsOut)); err != nil {
+		if err := metrics.Write(f, ts, metricsFormat); err != nil {
 			f.Close()
 			return err
 		}
@@ -206,5 +218,17 @@ func profile(prog *vm.Program, period int, metricsOut string, interval uint64) e
 	carfT.AddNote("avg live long registers: %.2f of %d", cs.AvgLiveLong(), core.DefaultParams().NumLong)
 	carfT.AddNote("IPC %.3f (content-aware) — long-heavy workloads benefit least", st2.IPC())
 	fmt.Println(carfT.Render())
+
+	// Merged static+dynamic attribution: where the cycles went, and
+	// which static instructions the dynamic events cluster on.
+	if prof != nil {
+		if err := prof.Stack.CheckIdentity(); err != nil {
+			return err
+		}
+		stackT := prof.Stack.Table("CPI stack (content-aware pass)")
+		fmt.Println(stackT.Render())
+		hotT := prof.PCs.Table(fmt.Sprintf("Hottest %d static instructions (content-aware pass)", topN), topN)
+		fmt.Println(hotT.Render())
+	}
 	return nil
 }

@@ -43,7 +43,11 @@ func main() {
 		injectCycle = flag.Uint64("inject-cycle", 2000, "cycle at which the injected fault lands")
 		injectSeed  = flag.Uint64("inject-seed", 1, "seed selecting the injection target deterministically")
 
-		metricsOut = flag.String("metrics-out", "", "write interval metric samples to this file (.csv for CSV, JSON lines otherwise)")
+		profileOut = flag.String("profile-out", "", "write the per-PC attribution profile and CPI stack to this file (.jsonl/.json or .csv)")
+		cpiStack   = flag.Bool("cpistack", false, "print the CPI stack: every commit-slot deficit charged to one blame category")
+		topN       = flag.Int("top", 0, "print the N hottest static instructions with per-PC attribution")
+
+		metricsOut = flag.String("metrics-out", "", "write interval metric samples to this file (.jsonl/.json for JSON lines, .csv for CSV)")
 		interval   = flag.Uint64("interval", metrics.DefaultInterval, "metric sampling interval in cycles")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace-format (Perfetto-loadable) pipeline trace to this file")
 		traceCap   = flag.Int("trace-cap", 20000, "retain at most N traced instructions (-1 = unbounded)")
@@ -107,6 +111,18 @@ func main() {
 	if *traceOut != "" {
 		cfg.TraceEvents = *traceCap
 	}
+	if *profileOut != "" || *cpiStack || *topN > 0 {
+		cfg.Profile = true
+	}
+	var profileFormat metrics.Format
+	if *profileOut != "" {
+		// Resolve the export format before the simulation runs so a bad
+		// extension fails fast.
+		var err error
+		if profileFormat, err = metrics.FormatForPath(*profileOut); err != nil {
+			fatal(err)
+		}
+	}
 
 	res, err := carf.Run(*kernel, cfg)
 	if err != nil {
@@ -132,6 +148,34 @@ func main() {
 			res.WritesByType[0], res.WritesByType[1], res.WritesByType[2], total(res.WritesByType))
 		fmt.Printf("avg live long     %.2f\n", res.AvgLiveLong)
 		fmt.Printf("recovery stalls   %d\n", res.RecoveryStalls)
+	}
+
+	if *cpiStack {
+		tab := res.Profile.Stack.Table("CPI stack (slots charged per blame category)")
+		fmt.Println()
+		fmt.Print(tab.Render())
+		if err := res.Profile.Stack.CheckIdentity(); err != nil {
+			fatal(err)
+		}
+	}
+	if *topN > 0 {
+		tab := res.Profile.PCs.Table(fmt.Sprintf("top %d static instructions", *topN), *topN)
+		fmt.Println()
+		fmt.Print(tab.Render())
+	}
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Profile.Write(f, profileFormat); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile           CPI stack + per-PC records -> %s\n", *profileOut)
 	}
 
 	if *metricsOut != "" {
@@ -165,11 +209,15 @@ func main() {
 }
 
 func writeMetrics(path string, ts *metrics.TimeSeries) error {
+	format, err := metrics.FormatForPath(path)
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := metrics.Write(f, *ts, metrics.FormatForPath(path)); err != nil {
+	if err := metrics.Write(f, *ts, format); err != nil {
 		f.Close()
 		return err
 	}

@@ -175,13 +175,25 @@ func (c HierarchyConfig) Valid() error {
 	return nil
 }
 
+// MissObserver is notified of every L1 miss with the PC of the
+// instruction that caused it: instr distinguishes L1I from L1D misses,
+// and mem reports whether main memory (rather than the L2) served the
+// fill. Observers must not call back into the hierarchy.
+type MissObserver func(pc, addr uint64, instr, mem bool)
+
 // Hierarchy is the assembled memory system.
 type Hierarchy struct {
-	L1I *Cache
-	L1D *Cache
-	L2  *Cache
-	cfg HierarchyConfig
+	L1I    *Cache
+	L1D    *Cache
+	L2     *Cache
+	cfg    HierarchyConfig
+	onMiss MissObserver
 }
+
+// SetMissObserver installs fn to be called on every L1 miss (nil
+// removes it). The observer is consulted only on misses, so the hit
+// path stays unchanged.
+func (h *Hierarchy) SetMissObserver(fn MissObserver) { h.onMiss = fn }
 
 // NewHierarchy builds the memory system from cfg, rejecting invalid
 // level configurations with a descriptive error.
@@ -207,22 +219,32 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 // FetchLatency returns the latency in cycles to fetch the instruction
 // line at addr, updating cache state.
 func (h *Hierarchy) FetchLatency(addr uint64) int {
-	return h.access(h.L1I, addr)
+	return h.accessPC(h.L1I, addr, addr, true)
 }
 
 // DataLatency returns the latency in cycles for a data access at addr,
 // updating cache state. Stores and loads are identical for tag state.
 func (h *Hierarchy) DataLatency(addr uint64) int {
-	return h.access(h.L1D, addr)
+	return h.accessPC(h.L1D, addr, 0, false)
 }
 
-func (h *Hierarchy) access(l1 *Cache, addr uint64) int {
+// DataLatencyPC is DataLatency with the accessing instruction's PC, so
+// a miss observer can attribute the miss to its static instruction.
+func (h *Hierarchy) DataLatencyPC(addr, pc uint64) int {
+	return h.accessPC(h.L1D, addr, pc, false)
+}
+
+func (h *Hierarchy) accessPC(l1 *Cache, addr, pc uint64, instr bool) int {
 	lat := l1.Config().HitLatency
 	if l1.Access(addr) {
 		return lat
 	}
 	lat += h.L2.Config().HitLatency
-	if h.L2.Access(addr) {
+	l2hit := h.L2.Access(addr)
+	if h.onMiss != nil {
+		h.onMiss(pc, addr, instr, !l2hit)
+	}
+	if l2hit {
 		return lat
 	}
 	return lat + h.cfg.MemLatency

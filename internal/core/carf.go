@@ -222,8 +222,17 @@ type File struct {
 	// panicking; the hardening layer surfaces them.
 	faults []string
 
+	// report observes write outcomes (regfile.WriteReporter); nil when
+	// no profiler is attached. Only successful writes are reported —
+	// a failed TryWrite (Recovery State) lands later as a retry.
+	report regfile.WriteFunc
+
 	stats Stats
 }
+
+// SetWriteReporter implements regfile.WriteReporter (nil removes the
+// reporter).
+func (f *File) SetWriteReporter(fn regfile.WriteFunc) { f.report = fn }
 
 // New builds a content-aware file from p. Parameters must already have
 // passed Params.Validate (every construction path validates first), so
@@ -443,6 +452,9 @@ func (f *File) TryWrite(tag int, v uint64) bool {
 		e.written = true
 		f.simpleWrites++
 		f.stats.WritesByType[regfile.TypeSimple]++
+		if f.report != nil {
+			f.report(regfile.TypeSimple, false)
+		}
 		return true
 	}
 
@@ -462,6 +474,9 @@ func (f *File) TryWrite(tag int, v uint64) bool {
 		f.simpleWrites++
 		f.stats.SimilarityHits++
 		f.stats.WritesByType[regfile.TypeShort]++
+		if f.report != nil {
+			f.report(regfile.TypeShort, false)
+		}
 		return true
 	}
 
@@ -496,6 +511,9 @@ func (f *File) TryWrite(tag int, v uint64) bool {
 	f.longWrites++
 	f.stats.SimilarityMisses++
 	f.stats.WritesByType[regfile.TypeLong]++
+	if f.report != nil {
+		f.report(regfile.TypeLong, false)
+	}
 	return true
 }
 
@@ -522,6 +540,9 @@ func (f *File) ForceWrite(tag int, v uint64) {
 	f.longWrites++
 	f.stats.SimilarityMisses++
 	f.stats.WritesByType[regfile.TypeLong]++
+	if f.report != nil {
+		f.report(regfile.TypeLong, true)
+	}
 }
 
 // ReadValue implements regfile.Model: it reconstructs the full 64-bit

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"carf/internal/core"
+	"carf/internal/pipeline"
+	"carf/internal/profile"
+	"carf/internal/stats"
+	"carf/internal/workload"
+)
+
+// cpiKernels are the kernels the CPI-stack study decomposes: two
+// memory-bound pointer chasers, one long-value-heavy bit mixer, and one
+// branchy sorter — together they light up every blame category.
+var cpiKernels = []string{"hashprobe", "listchase", "crc64", "qsort"}
+
+// cpiOrg is one (organization, profiler) pair of the study.
+type cpiOrg struct {
+	label string
+	spec  modelSpec
+}
+
+// pressuredParams shrinks the Long file so its pressure categories
+// (rf-long, rf-spill) become visible at experiment scale.
+func pressuredParams() core.Params {
+	p := core.DefaultParams()
+	p.NumLong = 8
+	return p
+}
+
+// CPIStackStudy decomposes where the cycles go under slot accounting:
+// every commit-slot deficit of every cycle is charged to exactly one
+// blame category, so the categories sum to cycles × commit width and
+// the per-category CPI contributions sum to the measured CPI. The first
+// table shows each organization's stack per kernel; the second
+// attributes the baseline → content-aware CPI delta to register-file,
+// branch, memory, and residual components.
+func CPIStackStudy(opt Options) (Result, error) {
+	orgs := []cpiOrg{
+		{"baseline", baselineSpec()},
+		{"carf", carfSpec(core.DefaultParams())},
+		{"carf-8long", carfSpec(pressuredParams())},
+	}
+
+	// stacks[kernel][org]
+	stacks := make([][]*profile.CPIStack, len(cpiKernels))
+	shareT := stats.Table{
+		Title:  "CPI stack: slot shares per blame category (conservative: rows sum to 100%)",
+		Header: append([]string{"kernel", "org", "CPI"}, categoryLabels()...),
+	}
+	for i, name := range cpiKernels {
+		stacks[i] = make([]*profile.CPIStack, len(orgs))
+		for j, org := range orgs {
+			k, err := workload.ByName(name, opt.Scale)
+			if err != nil {
+				return Result{}, err
+			}
+			cpu := pipeline.New(pipeline.DefaultConfig(), k.Prog, org.spec())
+			prof := cpu.InstallProfiler()
+			if _, err := cpu.Run(); err != nil {
+				return Result{}, fmt.Errorf("%s on %s: %w", name, org.label, err)
+			}
+			if err := prof.Stack.CheckIdentity(); err != nil {
+				return Result{}, fmt.Errorf("%s on %s: %w", name, org.label, err)
+			}
+			stacks[i][j] = &prof.Stack
+
+			row := []string{name, org.label, stats.F3(prof.Stack.CPI())}
+			for _, c := range profile.Categories() {
+				row = append(row, stats.Pct(prof.Stack.Share(c)))
+			}
+			shareT.Rows = append(shareT.Rows, row)
+		}
+	}
+	shareT.AddNote("commit is the useful-slot share; carf-8long shrinks the Long file to 8 entries to expose register-file pressure")
+
+	deltaT := stats.Table{
+		Title: "Baseline -> content-aware CPI delta, attributed per component",
+		Header: []string{"kernel", "org", "CPI base", "CPI carf", "dCPI",
+			"d rf", "d branch", "d mem", "d other"},
+	}
+	for i, name := range cpiKernels {
+		base := stacks[i][0]
+		for j := 1; j < len(orgs); j++ {
+			carf := stacks[i][j]
+			rf := func(s *profile.CPIStack) float64 {
+				return s.Component(profile.CatRFLong) + s.Component(profile.CatRFSpill) +
+					s.Component(profile.CatRFFree)
+			}
+			branch := func(s *profile.CPIStack) float64 { return s.Component(profile.CatBranch) }
+			mem := func(s *profile.CPIStack) float64 {
+				return s.Component(profile.CatL2) + s.Component(profile.CatMem)
+			}
+			dCPI := carf.CPI() - base.CPI()
+			dRF := rf(carf) - rf(base)
+			dBr := branch(carf) - branch(base)
+			dMem := mem(carf) - mem(base)
+			deltaT.AddRow(name, orgs[j].label,
+				stats.F3(base.CPI()), stats.F3(carf.CPI()),
+				fmt.Sprintf("%+.3f", dCPI),
+				fmt.Sprintf("%+.3f", dRF),
+				fmt.Sprintf("%+.3f", dBr),
+				fmt.Sprintf("%+.3f", dMem),
+				fmt.Sprintf("%+.3f", dCPI-dRF-dBr-dMem))
+		}
+	}
+	deltaT.AddNote("components are additive slot-accounting CPI contributions; d other = dCPI - d rf - d branch - d mem")
+	return Result{Name: "cpistack", Tables: []stats.Table{shareT, deltaT}}, nil
+}
+
+func categoryLabels() []string {
+	out := make([]string, 0, profile.NumCategories)
+	for _, c := range profile.Categories() {
+		out = append(out, c.String())
+	}
+	return out
+}

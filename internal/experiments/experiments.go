@@ -83,6 +83,7 @@ var registry = []experiment{
 	{"phases", "phase variance: interval IPC and sub-file occupancy time series per kernel", Phases},
 	{"calibration", "energy-model robustness: conclusions across technology constants", Calibration},
 	{"faults", "hardening: fault-injection detection coverage and latency per fault class", Faults},
+	{"cpistack", "attribution: CPI-stack slot accounting per organization, baseline->carf delta decomposition", CPIStackStudy},
 }
 
 // Names lists experiment ids in paper order.

@@ -24,8 +24,8 @@ func pct(t *testing.T, cell string) float64 {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 19 {
-		t.Errorf("registry has %d experiments, want 19", len(names))
+	if len(names) != 20 {
+		t.Errorf("registry has %d experiments, want 20", len(names))
 	}
 	for _, n := range names {
 		if Describe(n) == "" {
@@ -438,6 +438,61 @@ func TestKernelsTable(t *testing.T) {
 	for _, row := range tb.Rows {
 		if v := pct(t, row[5]); v < 70 || v > 103 {
 			t.Errorf("%s: carf/base IPC %.1f%% implausible", row[0], v)
+		}
+	}
+}
+
+func TestCPIStackStudy(t *testing.T) {
+	t.Parallel()
+	r, err := CPIStackStudy(testOpt.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("tables = %d", len(r.Tables))
+	}
+	shares := r.Tables[0]
+	if len(shares.Rows) != 4*3 {
+		t.Fatalf("share rows = %d, want 4 kernels x 3 orgs", len(shares.Rows))
+	}
+	var rfSeen bool
+	for _, row := range shares.Rows {
+		// Conservative accounting: the category shares sum to 100%.
+		var sum float64
+		for _, cell := range row[3:] {
+			sum += pct(t, cell)
+		}
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("%s/%s: shares sum to %.2f%%", row[0], row[1], sum)
+		}
+		// The commit (useful-slot) share must be nonzero everywhere.
+		if pct(t, row[3]) <= 0 {
+			t.Errorf("%s/%s: zero commit share", row[0], row[1])
+		}
+		// row[1] is the org; rf categories are rf-long/rf-spill/rf-free
+		// at header positions 9, 10, 11.
+		if row[1] == "carf-8long" {
+			if pct(t, row[9])+pct(t, row[10])+pct(t, row[11]) > 0 {
+				rfSeen = true
+			}
+		}
+	}
+	if !rfSeen {
+		t.Error("no kernel shows register-file stall slots even with an 8-entry Long file")
+	}
+
+	// Delta table: every decomposition must reconstruct dCPI from its
+	// components (d other is defined as the residual, so check the
+	// CPI columns are positive and finite instead).
+	deltas := r.Tables[1]
+	if len(deltas.Rows) != 4*2 {
+		t.Fatalf("delta rows = %d, want 4 kernels x 2 carf orgs", len(deltas.Rows))
+	}
+	for _, row := range deltas.Rows {
+		base, _ := strconv.ParseFloat(row[2], 64)
+		carf, _ := strconv.ParseFloat(row[3], 64)
+		if base <= 0 || carf <= 0 {
+			t.Errorf("%s/%s: CPI base %v carf %v", row[0], row[1], base, carf)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -19,9 +20,13 @@ func formatValue(v float64) string {
 
 // WriteJSONL exports the time series as JSON lines: one object per
 // sample with a leading "cycle" field and one field per series, in
-// registry order.
+// registry order. A bounded sampler that evicted samples announces the
+// loss in a leading {"evicted":N} line so truncation is never silent.
 func WriteJSONL(w io.Writer, ts TimeSeries) error {
 	bw := bufio.NewWriter(w)
+	if ts.Evicted > 0 {
+		fmt.Fprintf(bw, "{\"evicted\":%d}\n", ts.Evicted)
+	}
 	names := make([]string, len(ts.Names))
 	for i, n := range ts.Names {
 		names[i] = strconv.Quote(n)
@@ -43,9 +48,14 @@ func WriteJSONL(w io.Writer, ts TimeSeries) error {
 }
 
 // WriteCSV exports the time series as CSV: a header row ("cycle" plus
-// the series names) followed by one row per sample.
+// the series names) followed by one row per sample. A bounded sampler
+// that evicted samples announces the loss in a leading comment row so
+// truncation is never silent.
 func WriteCSV(w io.Writer, ts TimeSeries) error {
 	bw := bufio.NewWriter(w)
+	if ts.Evicted > 0 {
+		fmt.Fprintf(bw, "# evicted=%d oldest samples dropped by the bounded sampler\n", ts.Evicted)
+	}
 	bw.WriteString("cycle")
 	for _, n := range ts.Names {
 		bw.WriteByte(',')
@@ -80,13 +90,19 @@ const (
 	FormatCSV
 )
 
-// FormatForPath picks an export format from a file extension: .csv maps
-// to CSV, everything else to JSON lines.
-func FormatForPath(path string) Format {
-	if strings.HasSuffix(strings.ToLower(path), ".csv") {
-		return FormatCSV
+// FormatForPath picks an export format from a file extension: .jsonl
+// and .json map to JSON lines, .csv to CSV. Anything else is an error
+// (callers surface it) rather than a silent JSONL fallback.
+func FormatForPath(path string) (Format, error) {
+	ext := strings.ToLower(filepath.Ext(path))
+	switch ext {
+	case ".jsonl", ".json":
+		return FormatJSONL, nil
+	case ".csv":
+		return FormatCSV, nil
+	default:
+		return FormatJSONL, fmt.Errorf("metrics: cannot infer export format for %q (extension %q; known: .jsonl, .json, .csv)", path, ext)
 	}
-	return FormatJSONL
 }
 
 // Write exports ts in the given format.

@@ -89,6 +89,60 @@ func TestWriteCSVGolden(t *testing.T) {
 	}
 }
 
+// TestEvictedSurfacedInExports drives a real bounded sampler ring past
+// its cap and checks both writers announce the eviction count instead
+// of silently exporting a truncated series — and that an unbounded
+// sampler's output stays free of the extra row (the goldens above pin
+// the exact bytes for that case).
+func TestEvictedSurfacedInExports(t *testing.T) {
+	reg := NewRegistry()
+	ops := reg.Counter("ops")
+	s := NewSampler(reg, 10)
+	s.SetCap(2)
+	for c := uint64(10); c <= 50; c += 10 {
+		ops.Add(1)
+		s.Tick(c)
+	}
+	ts := s.Series()
+	if ts.Evicted != 3 {
+		t.Fatalf("Evicted = %d, want 3 (5 samples, cap 2)", ts.Evicted)
+	}
+
+	var jb bytes.Buffer
+	if err := WriteJSONL(&jb, ts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if lines[0] != `{"evicted":3}` {
+		t.Errorf("jsonl does not lead with the eviction record: %q", lines[0])
+	}
+	if len(lines) != 3 { // eviction record + 2 retained samples
+		t.Errorf("jsonl lines = %d, want 3", len(lines))
+	}
+
+	var cb bytes.Buffer
+	if err := WriteCSV(&cb, ts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cb.String(), "# evicted=3") {
+		t.Errorf("csv does not lead with the eviction comment: %q", cb.String())
+	}
+
+	// Zero evictions: no extra row in either format.
+	ts.Evicted = 0
+	jb.Reset()
+	cb.Reset()
+	if err := WriteJSONL(&jb, ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&cb, ts); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(jb.String(), "evicted") || strings.Contains(cb.String(), "#") {
+		t.Error("eviction row emitted for an unevicted series")
+	}
+}
+
 func TestCSVEscape(t *testing.T) {
 	ts := TimeSeries{
 		Names:   []string{`odd,"name`},

@@ -182,7 +182,23 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestFormatForPath(t *testing.T) {
-	if FormatForPath("m.jsonl") != FormatJSONL || FormatForPath("m.CSV") != FormatCSV {
-		t.Error("format detection wrong")
+	for _, tc := range []struct {
+		path string
+		want Format
+	}{
+		{"m.jsonl", FormatJSONL},
+		{"m.json", FormatJSONL},
+		{"m.CSV", FormatCSV},
+		{"out/dir.csv/m.JSONL", FormatJSONL},
+	} {
+		got, err := FormatForPath(tc.path)
+		if err != nil || got != tc.want {
+			t.Errorf("FormatForPath(%q) = %v, %v; want %v", tc.path, got, err, tc.want)
+		}
+	}
+	for _, path := range []string{"metrics.txt", "metrics", "m.jsonl.gz", "archive.csv.bak"} {
+		if _, err := FormatForPath(path); err == nil {
+			t.Errorf("FormatForPath(%q) accepted an unknown extension", path)
+		}
 	}
 }

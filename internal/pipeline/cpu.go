@@ -9,6 +9,7 @@ import (
 	"carf/internal/isa"
 	"carf/internal/metrics"
 	"carf/internal/predictor"
+	"carf/internal/profile"
 	"carf/internal/regfile"
 	"carf/internal/vm"
 )
@@ -159,6 +160,10 @@ type CPU struct {
 	// hard is the hardening state (nil when Config.Harden is all off —
 	// the fast path).
 	hard *hardenState
+
+	// pp is the attribution state (nil unless InstallProfiler was
+	// called — the fast path).
+	pp *profState
 
 	stats Stats
 }
@@ -426,6 +431,9 @@ func (c *CPU) cycle() {
 			}
 		}
 	}
+	if c.pp != nil {
+		c.profCycle(int(c.stats.Instructions - instr0))
+	}
 	c.now++
 	c.stats.Cycles++
 	if c.msampler != nil {
@@ -458,6 +466,9 @@ func (c *CPU) commit() {
 		in.committed = true
 		c.stats.Instructions++
 		c.lastCommitCycle = c.now
+		if c.pp != nil {
+			c.pp.prof.PCs.OnCommit(in.pc)
+		}
 		if c.hard != nil {
 			if err := c.checkCommit(in); err != nil {
 				c.hard.err = err
@@ -549,6 +560,9 @@ func (c *CPU) writeback() {
 			c.stats.PortStallCycles++
 			continue
 		}
+		if c.pp != nil {
+			c.pp.writePC = in.pc
+		}
 		if c.model.TryWrite(in.destTag, in.eff.RdValue) {
 			c.writesUsed++
 			if c.model.TypeOf(in.destTag) == regfile.TypeLong {
@@ -570,6 +584,9 @@ func (c *CPU) writeback() {
 		if c.rob[0] == in && in.wbStall > int64(c.cfg.DeadlockSpillAfter) {
 			c.model.ForceWrite(in.destTag, in.eff.RdValue)
 			c.stats.ForcedSpills++
+			if c.pp != nil {
+				c.pp.spilled = true
+			}
 			in.wbOK = true
 			in.wbDone = c.now + int64(c.writeStages)
 			c.intWB[in.destTag] = in.wbDone
@@ -661,6 +678,9 @@ func (c *CPU) issue() {
 	if c.model.LongStall(c.cfg.longStallThreshold()) {
 		c.stats.LongStallCycles++
 		onlyHead = true
+	}
+	if onlyHead && c.pp != nil {
+		c.pp.longIssue = true
 	}
 	issued := 0
 	intFU := c.cfg.IntUnits
@@ -806,6 +826,9 @@ func (c *CPU) tryIssue(in *dynInst, dports *int) bool {
 			c.fetchResume = resume
 		}
 		c.fetchBlock = nil
+		if c.pp != nil {
+			c.pp.resume = profile.CatBranch
+		}
 	}
 	return true
 }

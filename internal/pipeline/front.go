@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"carf/internal/isa"
+	"carf/internal/profile"
 	"carf/internal/regfile"
 )
 
@@ -18,8 +19,11 @@ func (c *CPU) rename() {
 		if in.fetchC+int64(c.cfg.FrontLatency) > c.now {
 			return
 		}
-		if !c.dispatchReady(in) {
+		if ok, why := c.dispatchReady(in); !ok {
 			c.stats.RenameStallCycles++
+			if c.pp != nil {
+				c.pp.renameBlock = why
+			}
 			return
 		}
 		c.front = c.front[1:]
@@ -47,28 +51,30 @@ func (c *CPU) rename() {
 }
 
 // dispatchReady checks every structural resource the instruction needs
-// to enter the out-of-order window.
-func (c *CPU) dispatchReady(in *dynInst) bool {
+// to enter the out-of-order window. On a stall it names the blocking
+// resource as a CPI-stack category: queue/window capacity is
+// structural, an exhausted rename free list is the register file's.
+func (c *CPU) dispatchReady(in *dynInst) (bool, profile.Category) {
 	if len(c.rob) >= c.cfg.ROBSize {
-		return false
+		return false, profile.CatStructural
 	}
 	if in.isMem && len(c.lsq) >= c.cfg.LSQSize {
-		return false
+		return false, profile.CatStructural
 	}
 	if in.inst.Op.Class() == isa.ClassFPU {
 		if len(c.fpIQ) >= c.cfg.FPQueue {
-			return false
+			return false, profile.CatStructural
 		}
 	} else if len(c.intIQ) >= c.cfg.IntQueue {
-		return false
+		return false, profile.CatStructural
 	}
 	if in.eff.WritesReg && in.eff.RdClass == isa.RegFP && len(c.fpFree) == 0 {
-		return false
+		return false, profile.CatRFFree
 	}
 	if in.eff.WritesReg && in.eff.RdClass == isa.RegInt && !c.canAllocInt() {
-		return false
+		return false, profile.CatRFFree
 	}
-	return true
+	return true, profile.CatCommit
 }
 
 // canAllocInt probes the integer tag allocator without consuming a tag.
@@ -200,6 +206,9 @@ func (c *CPU) fetch() {
 				// The line arrives after the miss latency; retry then.
 				c.fetchResume = c.now + int64(lat) - 1
 				c.lastFetchLine = ^uint64(0) // re-check on resume
+				if c.pp != nil {
+					c.pp.resume = profile.CatFrontend
+				}
 				return
 			}
 		}
@@ -223,7 +232,7 @@ func (c *CPU) fetch() {
 			// Data-cache state evolves in program order (deterministic
 			// across register file organizations); the latency recorded
 			// here is charged when the access issues.
-			in.memLat = c.hier.DataLatency(eff.Addr)
+			in.memLat = c.hier.DataLatencyPC(eff.Addr, pc)
 		}
 		c.seq++
 		c.front = append(c.front, in)
@@ -288,6 +297,9 @@ func (c *CPU) handleControl(in *dynInst, pc uint64) bool {
 		}
 		c.btb.Insert(pc, eff.NextPC)
 		c.stats.IndirectResolve++
+		if c.pp != nil {
+			c.pp.prof.PCs.OnMispredict(pc)
+		}
 		in.mispred = true
 		in.blocksFetch = true
 		c.fetchBlock = in
@@ -305,4 +317,7 @@ func (c *CPU) redirectDirect(pc, target uint64) {
 	c.btb.Insert(pc, target)
 	c.stats.FetchBubbles++
 	c.fetchResume = c.now + 2
+	if c.pp != nil {
+		c.pp.resume = profile.CatFrontend
+	}
 }

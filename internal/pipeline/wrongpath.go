@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"carf/internal/isa"
+	"carf/internal/profile"
 	"carf/internal/regfile"
 	"carf/internal/vm"
 )
@@ -80,6 +81,9 @@ func (c *CPU) fetchWrongPath() {
 			if lat > 1 {
 				c.fetchResume = c.now + int64(lat) - 1
 				c.lastFetchLine = ^uint64(0)
+				if c.pp != nil {
+					c.pp.resume = profile.CatFrontend
+				}
 				return
 			}
 		}
@@ -95,7 +99,7 @@ func (c *CPU) fetchWrongPath() {
 		in.isMem = in.isLoad || in.isStore
 		in.eff = c.phantomEffect(inst, w.pc)
 		if in.isMem {
-			in.memLat = c.hier.DataLatency(in.eff.Addr)
+			in.memLat = c.hier.DataLatencyPC(in.eff.Addr, w.pc)
 		}
 		c.seq++
 		c.stats.WrongPathFetched++

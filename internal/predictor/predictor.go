@@ -20,7 +20,13 @@ type Gshare struct {
 
 	predicts uint64
 	correct  uint64
+
+	onMispredict func(pc uint64)
 }
+
+// SetMispredictObserver installs fn to be called with the branch PC on
+// every direction misprediction observed at Update (nil removes it).
+func (g *Gshare) SetMispredictObserver(fn func(pc uint64)) { g.onMispredict = fn }
 
 // NewGshare builds a gshare predictor with the given history length.
 func NewGshare(cfg GshareConfig) *Gshare {
@@ -54,6 +60,8 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 	g.predicts++
 	if pred == taken {
 		g.correct++
+	} else if g.onMispredict != nil {
+		g.onMispredict(pc)
 	}
 	if taken {
 		if g.table[idx] < 3 {

@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"carf/internal/metrics"
+	"carf/internal/regfile"
+)
+
+// stackRecord is the JSONL shape of the CPI stack summary line.
+type stackRecord struct {
+	Record string            `json:"record"` // "cpistack"
+	Width  int               `json:"width"`
+	Cycles uint64            `json:"cycles"`
+	CPI    float64           `json:"cpi"`
+	Slots  map[string]uint64 `json:"slots"`
+}
+
+// pcRecord is the JSONL shape of one per-PC line.
+type pcRecord struct {
+	Record      string `json:"record"` // "pc"
+	PC          string `json:"pc"`
+	Instruction string `json:"instruction"`
+	Committed   uint64 `json:"committed"`
+	Mispredicts uint64 `json:"mispredicts"`
+	L2Misses    uint64 `json:"l2_misses"`
+	MemMisses   uint64 `json:"mem_misses"`
+	IMisses     uint64 `json:"imisses"`
+	Simple      uint64 `json:"simple_writes"`
+	Short       uint64 `json:"short_writes"`
+	Long        uint64 `json:"long_writes"`
+	Spills      uint64 `json:"spills"`
+}
+
+func (p *Profiler) record(s *PCStats) pcRecord {
+	dis := "?"
+	if p.PCs != nil {
+		if inst, ok := p.PCs.prog.At(s.PC); ok {
+			dis = inst.String()
+		}
+	}
+	return pcRecord{
+		Record:      "pc",
+		PC:          fmt.Sprintf("%#x", s.PC),
+		Instruction: dis,
+		Committed:   s.Committed,
+		Mispredicts: s.Mispredicts,
+		L2Misses:    s.L2Misses,
+		MemMisses:   s.MemMisses,
+		IMisses:     s.IMisses,
+		Simple:      s.Writes[regfile.TypeSimple],
+		Short:       s.Writes[regfile.TypeShort],
+		Long:        s.Writes[regfile.TypeLong],
+		Spills:      s.Spills,
+	}
+}
+
+// WriteJSONL writes the profile as JSON lines: first one "cpistack"
+// record, then one "pc" record per static instruction with activity, in
+// program order.
+func (p *Profiler) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	slots := make(map[string]uint64, NumCategories)
+	for _, c := range Categories() {
+		slots[c.String()] = p.Stack.Slots[c]
+	}
+	if err := enc.Encode(stackRecord{
+		Record: "cpistack",
+		Width:  p.Stack.Width,
+		Cycles: p.Stack.Cycles,
+		CPI:    p.Stack.CPI(),
+		Slots:  slots,
+	}); err != nil {
+		return err
+	}
+	if p.PCs == nil {
+		return nil
+	}
+	entries := p.PCs.Entries()
+	for i := range entries {
+		if !entries[i].interesting() {
+			continue
+		}
+		if err := enc.Encode(p.record(&entries[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the profile as CSV: a comment row carrying the CPI
+// stack, a header, then one row per static instruction with activity.
+func (p *Profiler) WriteCSV(w io.Writer) error {
+	var stack string
+	for _, c := range Categories() {
+		stack += fmt.Sprintf(" %s=%d", c, p.Stack.Slots[c])
+	}
+	if _, err := fmt.Fprintf(w, "# cpistack width=%d cycles=%d cpi=%.4f%s\n",
+		p.Stack.Width, p.Stack.Cycles, p.Stack.CPI(), stack); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "pc,instruction,committed,mispredicts,l2_misses,mem_misses,imisses,simple_writes,short_writes,long_writes,spills"); err != nil {
+		return err
+	}
+	if p.PCs == nil {
+		return nil
+	}
+	entries := p.PCs.Entries()
+	for i := range entries {
+		if !entries[i].interesting() {
+			continue
+		}
+		r := p.record(&entries[i])
+		if _, err := fmt.Fprintf(w, "%s,%q,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			r.PC, r.Instruction, r.Committed, r.Mispredicts, r.L2Misses,
+			r.MemMisses, r.IMisses, r.Simple, r.Short, r.Long, r.Spills); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write dispatches on the metrics export format.
+func (p *Profiler) Write(w io.Writer, format metrics.Format) error {
+	if format == metrics.FormatCSV {
+		return p.WriteCSV(w)
+	}
+	return p.WriteJSONL(w)
+}

@@ -1,0 +1,191 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"carf/internal/regfile"
+	"carf/internal/stats"
+	"carf/internal/vm"
+)
+
+// PCStats aggregates the dynamic behaviour of one static instruction.
+type PCStats struct {
+	PC        uint64
+	Committed uint64
+	// Mispredicts counts resolved control-flow mispredictions at this
+	// PC: gshare direction mispredicts plus indirect-target mispredicts.
+	Mispredicts uint64
+	// L2Misses / MemMisses count data accesses that missed the L1D and
+	// were served by the L2 / by main memory. IMisses counts instruction
+	// fetches for this PC that missed the L1I.
+	L2Misses  uint64
+	MemMisses uint64
+	IMisses   uint64
+	// Writes counts register-file write outcomes by value class,
+	// indexed by regfile.ValueType (TypeNone for the conventional
+	// baseline file, which does not classify).
+	Writes [4]uint64
+	// Spills counts pseudo-deadlock overflow spills forced at this PC.
+	Spills uint64
+}
+
+// writes returns the total register writes of any class.
+func (p *PCStats) writes() uint64 {
+	return p.Writes[0] + p.Writes[1] + p.Writes[2] + p.Writes[3]
+}
+
+// interesting reports whether the entry has any activity worth exporting.
+func (p *PCStats) interesting() bool {
+	return p.Committed != 0 || p.Mispredicts != 0 || p.L2Misses != 0 ||
+		p.MemMisses != 0 || p.IMisses != 0 || p.Spills != 0 || p.writes() != 0
+}
+
+// PCProfile is a dense per-static-instruction profile over one program.
+// All hooks are O(1) map lookups plus counter increments — no
+// allocation — so the pipeline can call them on every event. Events at
+// addresses outside the program (possible only on wrong paths) are
+// dropped.
+type PCProfile struct {
+	prog *vm.Program
+	pcs  []PCStats
+}
+
+// NewPCProfile builds an empty profile sized to prog.
+func NewPCProfile(prog *vm.Program) *PCProfile {
+	p := &PCProfile{prog: prog, pcs: make([]PCStats, len(prog.Code))}
+	for i := range p.pcs {
+		p.pcs[i].PC = prog.AddrOf(i)
+	}
+	return p
+}
+
+// Program returns the program the profile is indexed by.
+func (p *PCProfile) Program() *vm.Program { return p.prog }
+
+func (p *PCProfile) at(pc uint64) *PCStats {
+	i := p.prog.IndexOf(pc)
+	if i < 0 {
+		return nil
+	}
+	return &p.pcs[i]
+}
+
+// OnCommit records one committed instruction at pc.
+func (p *PCProfile) OnCommit(pc uint64) {
+	if s := p.at(pc); s != nil {
+		s.Committed++
+	}
+}
+
+// OnMispredict records one resolved control-flow misprediction at pc.
+func (p *PCProfile) OnMispredict(pc uint64) {
+	if s := p.at(pc); s != nil {
+		s.Mispredicts++
+	}
+}
+
+// OnDataMiss records a data access at pc that missed the L1D; mem is
+// true when main memory served it, false when the L2 did.
+func (p *PCProfile) OnDataMiss(pc uint64, mem bool) {
+	if s := p.at(pc); s != nil {
+		if mem {
+			s.MemMisses++
+		} else {
+			s.L2Misses++
+		}
+	}
+}
+
+// OnFetchMiss records an instruction fetch of pc that missed the L1I.
+func (p *PCProfile) OnFetchMiss(pc uint64) {
+	if s := p.at(pc); s != nil {
+		s.IMisses++
+	}
+}
+
+// OnWrite records a register-file write outcome produced at pc.
+func (p *PCProfile) OnWrite(pc uint64, typ regfile.ValueType, spilled bool) {
+	if s := p.at(pc); s != nil {
+		s.Writes[typ]++
+		if spilled {
+			s.Spills++
+		}
+	}
+}
+
+// Entries returns every per-PC record in program order. The slice
+// aliases the profile's storage; treat it as read-only.
+func (p *PCProfile) Entries() []PCStats { return p.pcs }
+
+// Totals sums every entry — used to reconcile against pipeline totals.
+func (p *PCProfile) Totals() PCStats {
+	var t PCStats
+	for i := range p.pcs {
+		s := &p.pcs[i]
+		t.Committed += s.Committed
+		t.Mispredicts += s.Mispredicts
+		t.L2Misses += s.L2Misses
+		t.MemMisses += s.MemMisses
+		t.IMisses += s.IMisses
+		t.Spills += s.Spills
+		for k := range t.Writes {
+			t.Writes[k] += s.Writes[k]
+		}
+	}
+	return t
+}
+
+// Top returns the n busiest static instructions by committed count
+// (ties broken by address), skipping entries with no activity. Sorting
+// happens here, at report time — never on the simulation path.
+func (p *PCProfile) Top(n int) []PCStats {
+	out := make([]PCStats, 0, len(p.pcs))
+	for i := range p.pcs {
+		if p.pcs[i].interesting() {
+			out = append(out, p.pcs[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Committed != out[j].Committed {
+			return out[i].Committed > out[j].Committed
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Table renders the top-n hot spots merged with the disassembly.
+func (p *PCProfile) Table(title string, n int) stats.Table {
+	t := stats.Table{
+		Title: title,
+		Header: []string{"pc", "instruction", "committed", "%dyn",
+			"mispred", "l2miss", "memmiss", "imiss", "simple", "short", "long", "spills"},
+	}
+	total := p.Totals().Committed
+	for _, s := range p.Top(n) {
+		dis := "?"
+		if inst, ok := p.prog.At(s.PC); ok {
+			dis = inst.String()
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(s.Committed) / float64(total)
+		}
+		t.AddRow(fmt.Sprintf("%#x", s.PC), dis,
+			fmt.Sprintf("%d", s.Committed), stats.Pct(share),
+			fmt.Sprintf("%d", s.Mispredicts),
+			fmt.Sprintf("%d", s.L2Misses),
+			fmt.Sprintf("%d", s.MemMisses),
+			fmt.Sprintf("%d", s.IMisses),
+			fmt.Sprintf("%d", s.Writes[regfile.TypeSimple]),
+			fmt.Sprintf("%d", s.Writes[regfile.TypeShort]),
+			fmt.Sprintf("%d", s.Writes[regfile.TypeLong]),
+			fmt.Sprintf("%d", s.Spills))
+	}
+	t.AddNote("%s: %d static instructions, %d committed", p.prog.Name, len(p.pcs), total)
+	return t
+}

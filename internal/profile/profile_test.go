@@ -1,0 +1,147 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"carf/internal/metrics"
+	"carf/internal/regfile"
+	"carf/internal/workload"
+)
+
+func TestCPIStackIdentity(t *testing.T) {
+	s := NewCPIStack(8)
+	// A spread of cycles: full commits, partial commits blamed on every
+	// category, and empty cycles.
+	for i := 0; i < 100; i++ {
+		s.Account(8, CatBase)
+	}
+	for c := CatBase; c < NumCategories; c++ {
+		s.Account(3, c)
+		s.Account(0, c)
+	}
+	if err := s.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	wantCycles := uint64(100 + 2*int(NumCategories-CatBase))
+	if s.Cycles != wantCycles {
+		t.Fatalf("Cycles = %d, want %d", s.Cycles, wantCycles)
+	}
+	if got, want := s.TotalSlots(), wantCycles*8; got != want {
+		t.Fatalf("TotalSlots = %d, want %d", got, want)
+	}
+	// Components must sum to the CPI.
+	var sum float64
+	for _, c := range Categories() {
+		sum += s.Component(c)
+	}
+	if cpi := s.CPI(); sum < cpi*0.999999 || sum > cpi*1.000001 {
+		t.Fatalf("components sum to %f, CPI is %f", sum, cpi)
+	}
+}
+
+func TestCPIStackIdentityViolationDetected(t *testing.T) {
+	s := NewCPIStack(4)
+	s.Account(2, CatBase)
+	s.Slots[CatBase]++ // corrupt: double-charge a slot
+	if err := s.CheckIdentity(); err == nil {
+		t.Fatal("corrupted stack passed CheckIdentity")
+	}
+}
+
+func TestPCProfileHooksAndTop(t *testing.T) {
+	k, err := workload.ByName("histo", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := k.Prog
+	p := NewPCProfile(prog)
+	pc0 := prog.AddrOf(0)
+	pc1 := prog.AddrOf(1)
+	for i := 0; i < 5; i++ {
+		p.OnCommit(pc0)
+	}
+	p.OnCommit(pc1)
+	p.OnMispredict(pc1)
+	p.OnDataMiss(pc0, false)
+	p.OnDataMiss(pc0, true)
+	p.OnFetchMiss(pc1)
+	p.OnWrite(pc0, regfile.TypeSimple, false)
+	p.OnWrite(pc0, regfile.TypeLong, true)
+	// Events off the program must be dropped, not crash or misattribute.
+	p.OnCommit(prog.AddrOf(0) + 1)
+	p.OnDataMiss(0xdeadbeef, true)
+
+	tot := p.Totals()
+	if tot.Committed != 6 || tot.Mispredicts != 1 || tot.L2Misses != 1 ||
+		tot.MemMisses != 1 || tot.IMisses != 1 || tot.Spills != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	top := p.Top(1)
+	if len(top) != 1 || top[0].PC != pc0 || top[0].Committed != 5 {
+		t.Fatalf("Top(1) = %+v", top)
+	}
+	if top[0].Writes[regfile.TypeSimple] != 1 || top[0].Writes[regfile.TypeLong] != 1 {
+		t.Fatalf("writes = %v", top[0].Writes)
+	}
+	// Table renders without panicking and mentions the hot PC.
+	tab := p.Table("hot", 5)
+	text := tab.Render()
+	if !strings.Contains(text, "committed") {
+		t.Fatalf("table missing header: %s", text)
+	}
+}
+
+func TestProfilerExport(t *testing.T) {
+	k, err := workload.ByName("histo", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := k.Prog
+	p := &Profiler{Stack: NewCPIStack(8), PCs: NewPCProfile(prog)}
+	p.Stack.Account(8, CatBase)
+	p.Stack.Account(2, CatRFLong)
+	p.PCs.OnCommit(prog.AddrOf(0))
+	p.PCs.OnWrite(prog.AddrOf(0), regfile.TypeShort, false)
+
+	var jb strings.Builder
+	if err := p.Write(&jb, metrics.FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	j := jb.String()
+	if !strings.Contains(j, `"record":"cpistack"`) || !strings.Contains(j, `"rf-long":6`) {
+		t.Fatalf("jsonl missing stack: %s", j)
+	}
+	if !strings.Contains(j, `"record":"pc"`) || !strings.Contains(j, `"short_writes":1`) {
+		t.Fatalf("jsonl missing pc record: %s", j)
+	}
+	if n := strings.Count(j, "\n"); n != 2 {
+		t.Fatalf("expected 2 lines (stack + 1 active pc), got %d: %s", n, j)
+	}
+
+	var cb strings.Builder
+	if err := p.Write(&cb, metrics.FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	c := cb.String()
+	if !strings.HasPrefix(c, "# cpistack width=8 cycles=2") {
+		t.Fatalf("csv missing stack comment: %s", c)
+	}
+	if !strings.Contains(c, "pc,instruction,committed") || strings.Count(c, "\n") != 3 {
+		t.Fatalf("csv shape wrong: %s", c)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Categories() {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "category(") {
+			t.Fatalf("category %d has no label", c)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate label %q", s)
+		}
+		seen[s] = true
+	}
+}

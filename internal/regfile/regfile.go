@@ -41,6 +41,18 @@ func (t ValueType) String() string {
 	}
 }
 
+// WriteFunc observes one completed register-file write: the value class
+// the write was stored as (TypeNone for files that do not classify) and
+// whether it was a pseudo-deadlock overflow spill. Failed TryWrite
+// attempts (Recovery State) are not reported — only writes that landed.
+type WriteFunc func(typ ValueType, spilled bool)
+
+// WriteReporter is implemented by register file models that can report
+// write outcomes to a profiler.
+type WriteReporter interface {
+	SetWriteReporter(fn WriteFunc)
+}
+
 // FileSpec describes one physical register array for the area/delay/
 // energy model.
 type FileSpec struct {
@@ -120,10 +132,14 @@ type Conventional struct {
 	inUse  []bool
 	values []uint64
 	wrote  []bool
-	reads  uint64
-	writes uint64
-	faults []string
+	reads   uint64
+	writes  uint64
+	faults  []string
+	writeFn WriteFunc
 }
+
+// SetWriteReporter implements WriteReporter (nil removes the reporter).
+func (c *Conventional) SetWriteReporter(fn WriteFunc) { c.writeFn = fn }
 
 // NewConventional builds a flat 64-bit physical register file.
 func NewConventional(name string, entries, readPorts, writePorts int) *Conventional {
@@ -194,6 +210,9 @@ func (c *Conventional) TryWrite(tag int, value uint64) bool {
 	c.writes++
 	c.values[tag] = value
 	c.wrote[tag] = true
+	if c.writeFn != nil {
+		c.writeFn(TypeNone, false)
+	}
 	return true
 }
 
