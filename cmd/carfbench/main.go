@@ -1,0 +1,174 @@
+// Command carfbench measures simulator throughput across the standard
+// configurations — baseline (conventional register file), carf
+// (content-aware file), checked (full hardening layer), profiled
+// (CPI-stack + per-PC attribution) — and writes the results as JSON.
+// EXPERIMENTS.md documents the output schema ("carf-bench/v1"); CI runs
+// it on every push and uploads the artifact so throughput trajectories
+// can be compared across commits.
+//
+// Usage:
+//
+//	carfbench                        # all configs, histo at scale 0.5
+//	carfbench -kernel crc64 -iters 9
+//	carfbench -out BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"carf/internal/core"
+	"carf/internal/harden"
+	"carf/internal/pipeline"
+	"carf/internal/regfile"
+	"carf/internal/vm"
+	"carf/internal/workload"
+)
+
+// report is the carf-bench/v1 document.
+type report struct {
+	Schema    string         `json:"schema"`
+	Kernel    string         `json:"kernel"`
+	Scale     float64        `json:"scale"`
+	Iters     int            `json:"iters"`
+	GoVersion string         `json:"go_version"`
+	Configs   []configResult `json:"configs"`
+}
+
+// configResult is one configuration's steady-state measurement: totals
+// over the timed iterations plus the derived per-instruction rates.
+type configResult struct {
+	Name          string  `json:"name"`
+	Instructions  uint64  `json:"instructions"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	InstrPerSec   float64 `json:"instr_per_sec"`
+	NsPerInstr    float64 `json:"ns_per_instr"`
+	AllocsPerInst float64 `json:"allocs_per_instr"`
+	BytesPerInst  float64 `json:"bytes_per_instr"`
+}
+
+// runner builds and runs one simulation, returning committed instructions.
+type runner func(prog *vm.Program) (uint64, error)
+
+func configs() []struct {
+	name string
+	run  runner
+} {
+	checkedCfg := pipeline.DefaultConfig()
+	checkedCfg.Harden = harden.Options{Lockstep: true, SweepEvery: 4096, WatchdogAfter: 50000}
+	return []struct {
+		name string
+		run  runner
+	}{
+		{"baseline", func(prog *vm.Program) (uint64, error) {
+			st, err := pipeline.New(pipeline.DefaultConfig(), prog, regfile.Baseline()).Run()
+			return st.Instructions, err
+		}},
+		{"carf", func(prog *vm.Program) (uint64, error) {
+			st, err := pipeline.New(pipeline.DefaultConfig(), prog, core.New(core.DefaultParams())).Run()
+			return st.Instructions, err
+		}},
+		{"checked", func(prog *vm.Program) (uint64, error) {
+			cpu, err := pipeline.NewChecked(checkedCfg, prog, regfile.Baseline())
+			if err != nil {
+				return 0, err
+			}
+			st, err := cpu.Run()
+			return st.Instructions, err
+		}},
+		{"profiled", func(prog *vm.Program) (uint64, error) {
+			cpu := pipeline.New(pipeline.DefaultConfig(), prog, regfile.Baseline())
+			cpu.InstallProfiler()
+			st, err := cpu.Run()
+			return st.Instructions, err
+		}},
+	}
+}
+
+// measure runs fn iters times after one untimed warmup, bracketing the
+// timed runs with MemStats reads so allocation rates cover exactly the
+// measured work.
+func measure(name string, prog *vm.Program, fn runner, iters int) (configResult, error) {
+	if _, err := fn(prog); err != nil { // warmup
+		return configResult{}, fmt.Errorf("%s: %v", name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var insts uint64
+	for i := 0; i < iters; i++ {
+		n, err := fn(prog)
+		if err != nil {
+			return configResult{}, fmt.Errorf("%s: %v", name, err)
+		}
+		insts += n
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	return configResult{
+		Name:          name,
+		Instructions:  insts,
+		WallSeconds:   wall,
+		InstrPerSec:   float64(insts) / wall,
+		NsPerInstr:    wall * 1e9 / float64(insts),
+		AllocsPerInst: float64(allocs) / float64(insts),
+		BytesPerInst:  float64(bytes) / float64(insts),
+	}, nil
+}
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "histo", "workload kernel to simulate")
+		scale  = flag.Float64("scale", 0.5, "workload scale factor")
+		iters  = flag.Int("iters", 5, "timed runs per configuration")
+		out    = flag.String("out", "", "write JSON to this file instead of stdout")
+	)
+	flag.Parse()
+
+	k, err := workload.ByName(*kernel, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carfbench:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Schema:    "carf-bench/v1",
+		Kernel:    *kernel,
+		Scale:     *scale,
+		Iters:     *iters,
+		GoVersion: runtime.Version(),
+	}
+	for _, c := range configs() {
+		res, err := measure(c.name, k.Prog, c.run, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carfbench:", err)
+			os.Exit(1)
+		}
+		rep.Configs = append(rep.Configs, res)
+		fmt.Fprintf(os.Stderr, "carfbench: %-8s %12.0f instr/s  %6.1f ns/instr  %.4f allocs/instr\n",
+			c.name, res.InstrPerSec, res.NsPerInstr, res.AllocsPerInst)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carfbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "carfbench:", err)
+		os.Exit(1)
+	}
+}

@@ -214,7 +214,13 @@ type File struct {
 	// lastArch is the Tarch vector computed at the most recent ROB
 	// interval; the invariant checker compares it against the stored
 	// reference bits (they only change together inside OnRobInterval).
+	// It aliases one half of archBuf — OnRobInterval double-buffers so
+	// the retained vector survives while the next one is being built
+	// without allocating per interval.
 	lastArch []bool
+	archBuf  [2][]bool
+	// refScratch is OnRobInterval's non-retained scratch vector.
+	refScratch []bool
 	// stuckTarc indexes a Short entry whose Tarch clear is dropped
 	// (harden.FaultRefClear); -1 when no such fault is injected.
 	stuckTarc int
@@ -276,6 +282,8 @@ func (f *File) Reset() {
 	f.shortReads, f.shortWrites = 0, 0
 	f.longReads, f.longWrites = 0, 0
 	f.lastArch = nil
+	f.archBuf = [2][]bool{}
+	f.refScratch = nil
 	f.stuckTarc = -1
 	f.faults = nil
 	f.stats = Stats{}
@@ -630,14 +638,26 @@ func (f *File) OnRobInterval(archTags []int) {
 		// reclaims nothing.
 		return
 	}
-	referenced := make([]bool, f.p.NumShort)
+	if f.refScratch == nil {
+		f.refScratch = make([]bool, f.p.NumShort)
+		f.archBuf[0] = make([]bool, f.p.NumShort)
+		f.archBuf[1] = make([]bool, f.p.NumShort)
+	}
+	referenced := f.refScratch
+	clear(referenced)
 	for i := range f.simple {
 		e := &f.simple[i]
 		if e.inUse && e.written && e.typ == regfile.TypeShort {
 			referenced[f.shortIndexOf(e)] = true
 		}
 	}
-	arch := make([]bool, f.p.NumShort)
+	// Build into whichever buffer the checker is not currently reading
+	// through f.lastArch, then publish it.
+	arch := f.archBuf[0]
+	if len(f.lastArch) > 0 && &arch[0] == &f.lastArch[0] {
+		arch = f.archBuf[1]
+	}
+	clear(arch)
 	for _, tag := range archTags {
 		e := &f.simple[tag]
 		if e.inUse && e.written && e.typ == regfile.TypeShort {

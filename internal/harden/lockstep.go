@@ -15,43 +15,26 @@ import (
 // holds exactly the architectural state of the first n instructions.
 type Lockstep struct {
 	golden *vm.Machine
-	ring   []CommitRecord
-	cap    int
+	ring   *CommitRing
 	steps  uint64
 }
 
 // NewLockstep builds a lockstep checker over a fresh machine loaded with
 // prog, keeping up to ringSize recent commits for diagnostics.
 func NewLockstep(prog *vm.Program, ringSize int) *Lockstep {
-	if ringSize <= 0 {
-		ringSize = DefaultRingSize
-	}
-	return &Lockstep{golden: vm.New(prog), cap: ringSize}
+	return &Lockstep{golden: vm.New(prog), ring: NewCommitRing(ringSize)}
 }
 
 // Steps returns the number of commits checked so far.
 func (l *Lockstep) Steps() uint64 { return l.steps }
 
 // Ring returns the most recent commits, oldest first.
-func (l *Lockstep) Ring() []CommitRecord {
-	out := make([]CommitRecord, len(l.ring))
-	copy(out, l.ring)
-	return out
-}
+func (l *Lockstep) Ring() []CommitRecord { return l.ring.Snapshot() }
 
 // ArchRegs returns the golden model's integer register state — the
 // architecturally correct values after every commit checked so far. The
 // sweep diffs the pipeline's retirement-map reconstruction against it.
 func (l *Lockstep) ArchRegs() [isa.NumRegs]uint64 { return l.golden.X }
-
-// push retains rec in the diagnostic ring.
-func (l *Lockstep) push(rec CommitRecord) {
-	if len(l.ring) >= l.cap {
-		copy(l.ring, l.ring[1:])
-		l.ring = l.ring[:len(l.ring)-1]
-	}
-	l.ring = append(l.ring, rec)
-}
 
 // diverge builds the structured error for the first disagreement.
 func (l *Lockstep) diverge(rec CommitRecord, field string, got, want uint64, detail string) *DivergenceError {
@@ -70,7 +53,7 @@ func (l *Lockstep) diverge(rec CommitRecord, field string, got, want uint64, det
 // the first divergence (the caller attaches the diagnostic bundle and
 // stops the run).
 func (l *Lockstep) OnCommit(rec CommitRecord) *DivergenceError {
-	defer l.push(rec)
+	defer l.ring.Push(rec)
 
 	if pc := l.golden.PC; pc != rec.PC {
 		return l.diverge(rec, "pc", rec.PC, pc, "commit stream left the golden path")

@@ -1,0 +1,45 @@
+package harden
+
+// CommitRing keeps the most recent CommitRecords in a fixed-capacity
+// circular buffer. Push is O(1) — the previous slice-shift retention
+// cost O(cap) copies per commit, which dominated hardened-run time once
+// the rest of the commit path stopped allocating. Snapshot materializes
+// the retained records oldest-first for diagnostics; it allocates and
+// belongs on failure paths only.
+type CommitRing struct {
+	buf  []CommitRecord
+	head int // index of the oldest retained record
+	n    int // number of retained records
+}
+
+// NewCommitRing builds a ring retaining up to capacity records
+// (capacity <= 0 uses DefaultRingSize).
+func NewCommitRing(capacity int) *CommitRing {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &CommitRing{buf: make([]CommitRecord, capacity)}
+}
+
+// Len returns the number of retained records.
+func (r *CommitRing) Len() int { return r.n }
+
+// Push retains rec, evicting the oldest record when full.
+func (r *CommitRing) Push(rec CommitRecord) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = rec
+		r.n++
+		return
+	}
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *CommitRing) Snapshot() []CommitRecord {
+	out := make([]CommitRecord, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}

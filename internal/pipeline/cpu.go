@@ -63,7 +63,8 @@ type Classifier interface {
 }
 
 // LiveSampler receives periodic snapshots of the live integer register
-// values (the Figure 1/2 oracle).
+// values (the Figure 1/2 oracle). The slice is reused between calls;
+// implementations must not retain it.
 type LiveSampler interface {
 	Sample(values []uint64)
 }
@@ -98,16 +99,32 @@ type CPU struct {
 	fpWB   []int64
 	fpLive []bool
 
-	// Machine state.
+	// Machine state. The structural queues are ring buffers (O(1) push,
+	// pop, and in-order retirement; see instQueue); the issue queues stay
+	// index-addressed slices because issue removes from arbitrary
+	// positions, compacted in place only on cycles that issue.
 	now      int64
 	seq      uint64
-	rob      []*dynInst
+	rob      instQueue
 	intIQ    []*dynInst
 	fpIQ     []*dynInst
-	front    []*dynInst
-	lsq      []*dynInst // in-flight memory operations, program order
+	front    instQueue
+	lsq      instQueue // in-flight memory operations, program order
 	haltSeen bool
 	done     bool
+
+	// pool recycles dynInst records between commit/squash and fetch so
+	// the steady-state cycle loop performs no heap allocation.
+	pool []*dynInst
+
+	// Reusable scratch buffers for per-interval work inside the cycle
+	// loop (retirement-map snapshots, live-value sampling).
+	archScratch []int
+	liveScratch []uint64
+
+	// Functional-unit budget buffers sliced by issue() each cycle.
+	intPoolBuf [2]int
+	fpPoolBuf  [1]int
 
 	fetchResume   int64    // fetch produces nothing before this cycle
 	fetchBlock    *dynInst // unresolved mispredicted control instruction
@@ -265,6 +282,13 @@ func New(cfg Config, prog *vm.Program, model regfile.Model) *CPU {
 	if c.clusters < 1 {
 		c.clusters = 1
 	}
+
+	c.rob.initQueue(cfg.ROBSize)
+	c.front.initQueue(3 * cfg.FetchWidth)
+	c.lsq.initQueue(cfg.LSQSize)
+	c.intIQ = make([]*dynInst, 0, cfg.IntQueue)
+	c.fpIQ = make([]*dynInst, 0, cfg.FPQueue)
+	c.archScratch = make([]int, 0, isa.NumRegs)
 
 	n := model.NumTags()
 	c.tagCluster = make([]uint8, n)
@@ -444,25 +468,29 @@ func (c *CPU) cycle() {
 type liveLongSampler interface{ SampleLiveLong() }
 
 func (c *CPU) sampleLive() {
-	values := make([]uint64, 0, len(c.intValue))
+	if c.liveScratch == nil {
+		c.liveScratch = make([]uint64, 0, len(c.intValue))
+	}
+	values := c.liveScratch[:0]
 	for tag := range c.intValue {
 		if c.intLive[tag] && c.intWrote[tag] && c.intWB[tag] <= c.now {
 			values = append(values, c.intValue[tag])
 		}
 	}
+	c.liveScratch = values[:0]
 	c.sampler.Sample(values)
 }
 
 // ---------- Commit ----------
 
 func (c *CPU) commit() {
-	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
-		in := c.rob[0]
+	for n := 0; n < c.cfg.CommitWidth && c.rob.Len() > 0; n++ {
+		in := c.rob.Front()
 		if !in.wbOK || in.wbDone >= c.now {
 			return
 		}
 		c.assertNoPhantomCommit(in)
-		c.rob = c.rob[1:]
+		c.rob.PopFront()
 		in.committed = true
 		c.stats.Instructions++
 		c.lastCommitCycle = c.now
@@ -511,24 +539,33 @@ func (c *CPU) commit() {
 		c.commitsInInterval++
 		if c.commitsInInterval >= c.cfg.ROBSize {
 			c.commitsInInterval = 0
-			arch := make([]int, 0, isa.NumRegs)
+			arch := c.archScratch[:0]
 			for _, t := range c.retireMap {
 				arch = append(arch, t)
 			}
 			c.model.OnRobInterval(arch)
 		}
 
-		if in.eff.Halt {
+		halt := in.eff.Halt
+		c.freeDyn(in)
+		if halt {
 			c.done = true
 			return
 		}
 	}
 }
 
+// removeLSQ retires the committing memory operation. Commit is in
+// program order and the LSQ is seq-ordered, so the op is the LSQ head;
+// the scan is a defensive fallback only.
 func (c *CPU) removeLSQ(in *dynInst) {
-	for i, m := range c.lsq {
-		if m == in {
-			c.lsq = append(c.lsq[:i], c.lsq[i+1:]...)
+	if c.lsq.Len() > 0 && c.lsq.Front() == in {
+		c.lsq.PopFront()
+		return
+	}
+	for i, n := 0, c.lsq.Len(); i < n; i++ {
+		if c.lsq.At(i) == in {
+			c.lsq.RemoveAt(i)
 			return
 		}
 	}
@@ -540,7 +577,8 @@ func (c *CPU) writeback() {
 	// Attempt write-back for every executed, un-written instruction in
 	// the ROB. Only destinations consume write-back slots; the loop is
 	// bounded by the ROB size.
-	for _, in := range c.rob {
+	for i, n := 0, c.rob.Len(); i < n; i++ {
+		in := c.rob.At(i)
 		if in.wbOK || !in.issued || in.execDone >= c.now {
 			continue
 		}
@@ -581,7 +619,7 @@ func (c *CPU) writeback() {
 		// after DeadlockSpillAfter cycles at the ROB head, spill.
 		in.wbStall++
 		c.stats.RecoveryStallCycles++
-		if c.rob[0] == in && in.wbStall > int64(c.cfg.DeadlockSpillAfter) {
+		if c.rob.Front() == in && in.wbStall > int64(c.cfg.DeadlockSpillAfter) {
 			c.model.ForceWrite(in.destTag, in.eff.RdValue)
 			c.stats.ForcedSpills++
 			if c.pp != nil {
@@ -648,8 +686,8 @@ func (c *CPU) operandStatus(s srcRef, cluster uint8) (ready, viaBypass, crossed 
 // load. forwarded is true when the value comes from the store queue.
 func (c *CPU) loadBlocked(ld *dynInst) (blocked, forwarded bool) {
 	lo, hi := ld.eff.Addr, ld.eff.Addr+uint64(ld.eff.Size)
-	for i := len(c.lsq) - 1; i >= 0; i-- {
-		st := c.lsq[i]
+	for i := c.lsq.Len() - 1; i >= 0; i-- {
+		st := c.lsq.At(i)
 		if st.seq >= ld.seq || !st.isStore {
 			continue
 		}
@@ -687,11 +725,16 @@ func (c *CPU) issue() {
 	fpFU := c.cfg.FPUnits
 	dports := c.cfg.DCachePorts
 
-	intPool := []int{intFU}
+	// The per-cluster budgets live in fixed CPU-owned buffers so slicing
+	// them allocates nothing.
+	intPool := c.intPoolBuf[:1]
+	intPool[0] = intFU
 	if c.clusters == 2 {
-		intPool = []int{intFU / 2, intFU - intFU/2}
+		intPool = c.intPoolBuf[:2]
+		intPool[0], intPool[1] = intFU/2, intFU-intFU/2
 	}
-	fpPool := []int{fpFU}
+	fpPool := c.fpPoolBuf[:1]
+	fpPool[0] = fpFU
 	c.issueQueue(&c.intIQ, &issued, intPool, &dports, onlyHead)
 	c.issueQueue(&c.fpIQ, &issued, fpPool, &dports, onlyHead)
 	if c.mIssueWidth != nil {
@@ -699,24 +742,43 @@ func (c *CPU) issue() {
 	}
 }
 
+// issueQueue wakes up ready instructions in age order. Entries that
+// issue are nilled out and the queue is compacted in one pass — but
+// only on cycles where something actually issued, so a stalled queue
+// costs a read-only scan instead of rewriting (and write-barriering)
+// every element every cycle.
 func (c *CPU) issueQueue(queue *[]*dynInst, issued *int, fuPool []int, dports *int, onlyHead bool) {
 	q := *queue
-	kept := q[:0]
-	for _, in := range q {
+	removed := 0
+	for i, in := range q {
 		if in.issued {
+			// Issued entries are compacted out below; a stray one (can
+			// only appear through a future bug) is dropped, matching the
+			// pre-ring behaviour.
+			q[i] = nil
+			removed++
 			continue
 		}
-		if onlyHead && (len(c.rob) == 0 || c.rob[0] != in) {
-			kept = append(kept, in)
+		if onlyHead && (c.rob.Len() == 0 || c.rob.Front() != in) {
 			continue
 		}
 		fu := &fuPool[int(in.cluster)%len(fuPool)]
 		if *issued >= c.cfg.IssueWidth || *fu <= 0 || !c.tryIssue(in, dports) {
-			kept = append(kept, in)
 			continue
 		}
 		*issued++
 		*fu--
+		q[i] = nil
+		removed++
+	}
+	if removed == 0 {
+		return
+	}
+	kept := q[:0]
+	for _, in := range q {
+		if in != nil {
+			kept = append(kept, in)
+		}
 	}
 	*queue = kept
 }
@@ -852,14 +914,16 @@ func (c *CPU) recordOperandCombo(in *dynInst) {
 	if !ok {
 		return
 	}
-	var types []regfile.ValueType
+	var types [2]regfile.ValueType
+	n := 0
 	for _, s := range in.srcs {
 		if s.tag < 0 || s.fp {
 			continue
 		}
-		types = append(types, cl.Classify(c.intValue[s.tag]))
+		types[n] = cl.Classify(c.intValue[s.tag])
+		n++
 	}
-	switch len(types) {
+	switch n {
 	case 1:
 		c.stats.OperandCombos[types[0]][types[0]]++
 	case 2:

@@ -12,10 +12,10 @@ import (
 
 func (c *CPU) rename() {
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.front) == 0 {
+		if c.front.Len() == 0 {
 			return
 		}
-		in := c.front[0]
+		in := c.front.Front()
 		if in.fetchC+int64(c.cfg.FrontLatency) > c.now {
 			return
 		}
@@ -26,7 +26,7 @@ func (c *CPU) rename() {
 			}
 			return
 		}
-		c.front = c.front[1:]
+		c.front.PopFront()
 		in.renameC = c.now
 		c.bindSources(in)
 		c.bindDest(in)
@@ -38,9 +38,9 @@ func (c *CPU) rename() {
 			c.wrong.intMap = c.intMap
 			c.wrong.fpMap = c.fpMap
 		}
-		c.rob = append(c.rob, in)
+		c.rob.PushBack(in)
 		if in.isMem {
-			c.lsq = append(c.lsq, in)
+			c.lsq.PushBack(in)
 		}
 		if in.inst.Op.Class() == isa.ClassFPU {
 			c.fpIQ = append(c.fpIQ, in)
@@ -55,10 +55,10 @@ func (c *CPU) rename() {
 // resource as a CPI-stack category: queue/window capacity is
 // structural, an exhausted rename free list is the register file's.
 func (c *CPU) dispatchReady(in *dynInst) (bool, profile.Category) {
-	if len(c.rob) >= c.cfg.ROBSize {
+	if c.rob.Len() >= c.cfg.ROBSize {
 		return false, profile.CatStructural
 	}
-	if in.isMem && len(c.lsq) >= c.cfg.LSQSize {
+	if in.isMem && c.lsq.Len() >= c.cfg.LSQSize {
 		return false, profile.CatStructural
 	}
 	if in.inst.Op.Class() == isa.ClassFPU {
@@ -195,7 +195,7 @@ func (c *CPU) fetch() {
 	lineMask := ^(uint64(c.cfg.Hierarchy.L1I.LineBytes) - 1)
 	capacity := 3 * c.cfg.FetchWidth
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.front) >= capacity {
+		if c.front.Len() >= capacity {
 			return
 		}
 		pc := c.mach.PC
@@ -218,15 +218,14 @@ func (c *CPU) fetch() {
 			// fault here is a simulator bug.
 			panic(fmt.Sprintf("pipeline: functional execution failed at %#x: %v", pc, err))
 		}
-		in := &dynInst{
-			seq:     c.seq,
-			pc:      pc,
-			inst:    inst,
-			eff:     eff,
-			isLoad:  inst.Op.IsLoad(),
-			isStore: inst.Op.IsStore(),
-			fetchC:  c.now,
-		}
+		in := c.newDyn()
+		in.seq = c.seq
+		in.pc = pc
+		in.inst = inst
+		in.eff = eff
+		in.isLoad = inst.Op.IsLoad()
+		in.isStore = inst.Op.IsStore()
+		in.fetchC = c.now
 		in.isMem = in.isLoad || in.isStore
 		if in.isMem {
 			// Data-cache state evolves in program order (deterministic
@@ -235,7 +234,7 @@ func (c *CPU) fetch() {
 			in.memLat = c.hier.DataLatencyPC(eff.Addr, pc)
 		}
 		c.seq++
-		c.front = append(c.front, in)
+		c.front.PushBack(in)
 
 		if inst.Op == isa.HALT {
 			c.haltSeen = true
@@ -292,7 +291,9 @@ func (c *CPU) handleControl(in *dynInst, pc uint64) bool {
 				return true // perfectly predicted return
 			}
 		} else if tgt, ok := c.btb.Lookup(pc); ok && tgt == eff.NextPC {
-			c.btb.Insert(pc, eff.NextPC)
+			// BTB hit with the correct target: the entry already holds
+			// exactly this mapping (direct-mapped, tag-matched), so
+			// re-inserting it would be a redundant write.
 			return true
 		}
 		c.btb.Insert(pc, eff.NextPC)

@@ -24,7 +24,7 @@ type hardenState struct {
 
 	// ring holds recent commits when lockstep (which keeps its own ring)
 	// is off but sweeps or the watchdog still want context.
-	ring []harden.CommitRecord
+	ring *harden.CommitRing
 
 	// pending faults scheduled via ScheduleFault; retried each cycle
 	// from their target cycle until a suitable target exists.
@@ -48,16 +48,10 @@ func newHardenState(opts harden.Options, prog *vm.Program) *hardenState {
 	if opts.WatchdogAfter > 0 {
 		h.wd = harden.NewWatchdog(opts.WatchdogAfter)
 	}
-	return h
-}
-
-// pushRing retains rec when lockstep is not keeping its own ring.
-func (h *hardenState) pushRing(rec harden.CommitRecord) {
-	if len(h.ring) >= h.opts.Ring() {
-		copy(h.ring, h.ring[1:])
-		h.ring = h.ring[:len(h.ring)-1]
+	if h.lock == nil {
+		h.ring = harden.NewCommitRing(opts.Ring())
 	}
-	h.ring = append(h.ring, rec)
+	return h
 }
 
 // NewChecked validates cfg and the model's capacity before building the
@@ -161,7 +155,7 @@ func (c *CPU) checkCommit(in *dynInst) error {
 		rec.StoreVal = in.eff.StoreVal
 	}
 	if c.hard.lock == nil {
-		c.hard.pushRing(rec)
+		c.hard.ring.Push(rec)
 		return nil
 	}
 	if d := c.hard.lock.OnCommit(rec); d != nil {
@@ -183,10 +177,11 @@ func (c *CPU) checkInvariants() []harden.Violation {
 	}
 
 	// ROB ordering: strictly increasing sequence numbers.
-	for i := 1; i < len(c.rob); i++ {
-		if c.rob[i].seq <= c.rob[i-1].seq {
+	for i := 1; i < c.rob.Len(); i++ {
+		prev, cur := c.rob.At(i-1), c.rob.At(i)
+		if cur.seq <= prev.seq {
 			add("rob-order", "entry %d (seq %d) not older than entry %d (seq %d)",
-				i-1, c.rob[i-1].seq, i, c.rob[i].seq)
+				i-1, prev.seq, i, cur.seq)
 		}
 	}
 
@@ -258,9 +253,9 @@ func (c *CPU) buildBundle() *harden.Bundle {
 	st := c.stats
 	b.Notes = []string{
 		fmt.Sprintf("instructions=%d", st.Instructions),
-		fmt.Sprintf("rob=%d/%d", len(c.rob), c.cfg.ROBSize),
+		fmt.Sprintf("rob=%d/%d", c.rob.Len(), c.cfg.ROBSize),
 		fmt.Sprintf("intiq=%d", len(c.intIQ)),
-		fmt.Sprintf("lsq=%d", len(c.lsq)),
+		fmt.Sprintf("lsq=%d", c.lsq.Len()),
 		fmt.Sprintf("rename_stalls=%d", st.RenameStallCycles),
 		fmt.Sprintf("long_stalls=%d", st.LongStallCycles),
 		fmt.Sprintf("recovery_stalls=%d", st.RecoveryStallCycles),
@@ -278,8 +273,8 @@ func (c *CPU) buildBundle() *harden.Bundle {
 	if c.hard != nil {
 		if c.hard.lock != nil {
 			b.Commits = c.hard.lock.Ring()
-		} else {
-			b.Commits = append([]harden.CommitRecord(nil), c.hard.ring...)
+		} else if c.hard.ring != nil {
+			b.Commits = c.hard.ring.Snapshot()
 		}
 	}
 	if tb, ok := c.tracer.(*TraceBuffer); ok && len(tb.Events) > 0 {

@@ -49,10 +49,10 @@ func (c *CPU) InstallMetrics(reg *metrics.Registry, interval uint64) *metrics.Sa
 	reg.GaugeFunc("pipeline.bypassed_operands", u(&st.BypassedOperands))
 	reg.RatioRate("pipeline.bypass_rate", u(&st.BypassedOperands), u(&st.IntOperands))
 
-	reg.GaugeFunc("pipeline.rob_occupancy", func() float64 { return float64(len(c.rob)) })
+	reg.GaugeFunc("pipeline.rob_occupancy", func() float64 { return float64(c.rob.Len()) })
 	reg.GaugeFunc("pipeline.intiq_occupancy", func() float64 { return float64(len(c.intIQ)) })
 	reg.GaugeFunc("pipeline.fpiq_occupancy", func() float64 { return float64(len(c.fpIQ)) })
-	reg.GaugeFunc("pipeline.lsq_occupancy", func() float64 { return float64(len(c.lsq)) })
+	reg.GaugeFunc("pipeline.lsq_occupancy", func() float64 { return float64(c.lsq.Len()) })
 
 	reg.GaugeFunc("pipeline.rename_stall_cycles", u(&st.RenameStallCycles))
 	reg.GaugeFunc("pipeline.long_stall_cycles", u(&st.LongStallCycles))

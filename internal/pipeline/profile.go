@@ -109,8 +109,8 @@ func (c *CPU) blameCategory() profile.Category {
 	if pp.spilled {
 		return profile.CatRFSpill
 	}
-	if len(c.rob) > 0 {
-		head := c.rob[0]
+	if c.rob.Len() > 0 {
+		head := c.rob.Front()
 		if head.issued {
 			if !head.wbOK && head.execDone < c.now {
 				if head.wbStall > 0 {

@@ -65,7 +65,7 @@ func (c *CPU) fetchWrongPath() {
 	lineMask := ^(uint64(c.cfg.Hierarchy.L1I.LineBytes) - 1)
 	capacity := 3 * c.cfg.FetchWidth
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.front) >= capacity {
+		if c.front.Len() >= capacity {
 			return
 		}
 		inst, ok := c.mach.Prog.At(w.pc)
@@ -87,15 +87,14 @@ func (c *CPU) fetchWrongPath() {
 				return
 			}
 		}
-		in := &dynInst{
-			seq:     c.seq,
-			pc:      w.pc,
-			inst:    inst,
-			phantom: true,
-			isLoad:  inst.Op.IsLoad(),
-			isStore: inst.Op.IsStore(),
-			fetchC:  c.now,
-		}
+		in := c.newDyn()
+		in.seq = c.seq
+		in.pc = w.pc
+		in.inst = inst
+		in.phantom = true
+		in.isLoad = inst.Op.IsLoad()
+		in.isStore = inst.Op.IsStore()
+		in.fetchC = c.now
 		in.isMem = in.isLoad || in.isStore
 		in.eff = c.phantomEffect(inst, w.pc)
 		if in.isMem {
@@ -103,7 +102,7 @@ func (c *CPU) fetchWrongPath() {
 		}
 		c.seq++
 		c.stats.WrongPathFetched++
-		c.front = append(c.front, in)
+		c.front.PushBack(in)
 		w.pc += uint64(inst.Size())
 	}
 }
@@ -182,7 +181,11 @@ func (c *CPU) squashWrongPath() {
 	w := c.wrong
 	bseq := w.branch.seq
 
-	for _, in := range c.rob {
+	// Free the squashed destinations oldest-first (the order the
+	// pre-ring implementation used, which the models' free lists
+	// observe); the ROB entries themselves are popped below.
+	for i, n := 0, c.rob.Len(); i < n; i++ {
+		in := c.rob.At(i)
 		if in.seq <= bseq || !in.hasDest {
 			continue
 		}
@@ -198,28 +201,32 @@ func (c *CPU) squashWrongPath() {
 			c.intDone[in.destTag], c.intWB[in.destTag] = never, never
 		}
 	}
-	keep := func(list []*dynInst, count bool) []*dynInst {
-		out := list[:0]
-		for _, in := range list {
-			if in.seq <= bseq {
-				out = append(out, in)
-			} else if count {
-				c.stats.WrongPathSquashed++
-			}
+	// Every queue is seq-ordered (rename inserts in program order and
+	// removals preserve order), so the squashed phantoms are a suffix.
+	// The issue queues and LSQ drop their references first; the ROB pops
+	// recycle each phantom exactly once, after no queue can reach it.
+	keepSlice := func(list []*dynInst) []*dynInst {
+		for len(list) > 0 && list[len(list)-1].seq > bseq {
+			list = list[:len(list)-1]
 		}
-		return out
+		return list
+	}
+	c.intIQ = keepSlice(c.intIQ)
+	c.fpIQ = keepSlice(c.fpIQ)
+	for c.lsq.Len() > 0 && c.lsq.Back().seq > bseq {
+		c.lsq.PopBack()
 	}
 	// Count each phantom once: renamed phantoms live in the ROB (and
 	// possibly an issue queue and the LSQ); unrenamed ones in front.
-	c.rob = keep(c.rob, true)
-	c.intIQ = keep(c.intIQ, false)
-	c.fpIQ = keep(c.fpIQ, false)
-	c.lsq = keep(c.lsq, false)
-	// Everything still in the front queue is younger than the branch.
-	for range c.front {
+	for c.rob.Len() > 0 && c.rob.Back().seq > bseq {
 		c.stats.WrongPathSquashed++
+		c.freeDyn(c.rob.PopBack())
 	}
-	c.front = c.front[:0]
+	// Everything still in the front queue is younger than the branch.
+	for c.front.Len() > 0 {
+		c.stats.WrongPathSquashed++
+		c.freeDyn(c.front.PopFront())
+	}
 
 	c.intMap = w.intMap
 	c.fpMap = w.fpMap

@@ -126,12 +126,12 @@ type Model interface {
 // Conventional is a flat, full-width physical register file. It backs
 // both the baseline and unlimited configurations.
 type Conventional struct {
-	name   string
-	spec   FileSpec
-	free   []int
-	inUse  []bool
-	values []uint64
-	wrote  []bool
+	name    string
+	spec    FileSpec
+	free    []int
+	inUse   []bool
+	values  []uint64
+	wrote   []bool
 	reads   uint64
 	writes  uint64
 	faults  []string

@@ -21,6 +21,12 @@ type Machine struct {
 	Prog      *Program
 	Halted    bool
 	InstCount uint64
+
+	// nextIdx is the sequential-fetch hint: the index the next Step is
+	// expected to execute (the instruction after the last one, in layout
+	// order). Straight-line code hits the hint and skips even the dense
+	// table lookup; taken branches miss and fall back to IndexOf.
+	nextIdx int
 }
 
 // New creates a machine loaded with prog: memory holds the data segments,
@@ -64,11 +70,15 @@ func (m *Machine) Step() (isa.Inst, Effect, error) {
 	if m.Halted {
 		return isa.Inst{}, Effect{}, fmt.Errorf("vm: step after halt")
 	}
-	inst, ok := m.Prog.At(m.PC)
-	if !ok {
-		return isa.Inst{}, Effect{}, fmt.Errorf("vm: PC %#x is not an instruction", m.PC)
+	i := m.nextIdx
+	if i >= len(m.Prog.Code) || m.Prog.AddrOf(i) != m.PC {
+		if i = m.Prog.IndexOf(m.PC); i < 0 {
+			return isa.Inst{}, Effect{}, fmt.Errorf("vm: PC %#x is not an instruction", m.PC)
+		}
 	}
+	inst := m.Prog.Code[i]
 	eff, err := m.Execute(inst)
+	m.nextIdx = i + 1
 	return inst, eff, err
 }
 

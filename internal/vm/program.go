@@ -24,7 +24,12 @@ type Program struct {
 
 	offsets []uint64 // offsets[i] = byte offset of Code[i] from Base
 	size    uint64   // total code bytes
-	byAddr  map[uint64]int
+
+	// denseIdx maps a byte offset from Base to the instruction index
+	// starting there, or -1 for non-boundary offsets. One array load
+	// replaces the map lookup the fetch stage would otherwise pay per
+	// instruction; code images are a few KB, so the table stays small.
+	denseIdx []int32
 }
 
 // Segment is an initialized span of data memory.
@@ -34,7 +39,7 @@ type Segment struct {
 }
 
 // NewProgram finalizes a program: it computes instruction addresses and
-// the address→index map used by instruction fetch.
+// the dense address→index table used by instruction fetch.
 func NewProgram(name string, base uint64, code []isa.Inst, data []Segment, initRegs map[isa.Reg]uint64) *Program {
 	p := &Program{
 		Name:     name,
@@ -43,15 +48,20 @@ func NewProgram(name string, base uint64, code []isa.Inst, data []Segment, initR
 		Data:     data,
 		InitRegs: initRegs,
 		offsets:  make([]uint64, len(code)),
-		byAddr:   make(map[uint64]int, len(code)),
 	}
 	var off uint64
 	for i, inst := range code {
 		p.offsets[i] = off
-		p.byAddr[base+off] = i
 		off += uint64(inst.Size())
 	}
 	p.size = off
+	p.denseIdx = make([]int32, off)
+	for i := range p.denseIdx {
+		p.denseIdx[i] = -1
+	}
+	for i := range code {
+		p.denseIdx[p.offsets[i]] = int32(i)
+	}
 	return p
 }
 
@@ -67,20 +77,22 @@ func (p *Program) AddrOf(i int) uint64 { return p.Base + p.offsets[i] }
 // At returns the instruction at address addr. ok is false when addr is
 // not the start of an instruction.
 func (p *Program) At(addr uint64) (inst isa.Inst, ok bool) {
-	i, ok := p.byAddr[addr]
-	if !ok {
+	i := p.IndexOf(addr)
+	if i < 0 {
 		return isa.Inst{}, false
 	}
 	return p.Code[i], true
 }
 
-// IndexOf returns the instruction index at address addr, or -1.
+// IndexOf returns the instruction index at address addr, or -1. It is
+// O(1): one bounds check and one dense-table load (addresses below Base
+// wrap to huge offsets and fail the bounds check).
 func (p *Program) IndexOf(addr uint64) int {
-	i, ok := p.byAddr[addr]
-	if !ok {
+	off := addr - p.Base
+	if off >= p.size {
 		return -1
 	}
-	return i
+	return int(p.denseIdx[off])
 }
 
 // Validate checks that every control-transfer target lands on an
@@ -93,7 +105,7 @@ func (p *Program) Validate() error {
 		}
 		next := p.AddrOf(i) + uint64(inst.Size())
 		target := next + uint64(inst.Imm)
-		if _, ok := p.byAddr[target]; !ok {
+		if p.IndexOf(target) < 0 {
 			return fmt.Errorf("program %s: instruction %d (%s) targets %#x, not an instruction boundary",
 				p.Name, i, inst, target)
 		}
