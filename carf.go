@@ -28,6 +28,7 @@ import (
 	"carf/internal/pipeline"
 	"carf/internal/profile"
 	"carf/internal/regfile"
+	"carf/internal/sched"
 	"carf/internal/workload"
 )
 
@@ -319,14 +320,57 @@ type ExperimentOptions struct {
 	// Scale multiplies benchmark work (default 0.25 — experiments run
 	// many simulations).
 	Scale float64
+
+	// Parallel bounds the number of simulations in flight at once.
+	// The bound is global: every experiment in the process shares one
+	// scheduler pool, so concurrent RunExperiment calls never exceed it
+	// combined. 0 leaves the current bound (initially GOMAXPROCS).
+	Parallel int
 }
 
 // RunExperiment regenerates one paper exhibit and returns its rendered
-// tables.
+// tables. Simulations run through the process-global scheduler: they
+// share its bounded worker pool with every other in-flight experiment,
+// and completed runs are memoized, so experiments that revisit the same
+// (kernel, organization, configuration) combination — most of them do —
+// reuse earlier results. Rendered output is deterministic: it does not
+// depend on Parallel or on cache state.
 func RunExperiment(name string, opt ExperimentOptions) (string, error) {
-	r, err := experiments.Run(name, experiments.Options{Scale: opt.Scale})
+	r, err := experiments.Run(name, experiments.Options{Scale: opt.Scale, Parallel: opt.Parallel})
 	if err != nil {
 		return "", err
 	}
 	return r.Render(), nil
+}
+
+// SchedulerStats snapshots the process-global simulation scheduler: how
+// many runs experiments requested, how many actually simulated (Misses),
+// and how many were served from the memo cache (Hits) or joined an
+// identical in-flight run (Joins).
+type SchedulerStats struct {
+	Workers      int    // worker-pool bound
+	CacheEntries int    // completed runs held in the cache
+	Runs         uint64 // total requests
+	Misses       uint64 // requests that simulated
+	Hits         uint64 // requests served from the cache
+	Joins        uint64 // requests that joined an in-flight run
+
+	QueueWaitSeconds float64 // cumulative worker-slot wait
+	SimWallSeconds   float64 // cumulative simulation wall time
+}
+
+// GlobalSchedulerStats reports the process-global scheduler's cumulative
+// counters (all RunExperiment work in this process so far).
+func GlobalSchedulerStats() SchedulerStats {
+	st := sched.Global().Stats()
+	return SchedulerStats{
+		Workers:          st.Workers,
+		CacheEntries:     st.CacheEntries,
+		Runs:             st.Runs,
+		Misses:           st.Misses,
+		Hits:             st.Hits,
+		Joins:            st.Joins,
+		QueueWaitSeconds: st.QueueWait.Seconds(),
+		SimWallSeconds:   st.SimWall.Seconds(),
+	}
 }

@@ -6,10 +6,18 @@
 // it on every push and uploads the artifact so throughput trajectories
 // can be compared across commits.
 //
+// With -study it additionally times the full experiment suite under
+// three scheduler configurations: serial (one experiment at a time,
+// memoization off — the pre-scheduler behaviour), scheduled-cold
+// (concurrent experiments sharing one pool, empty cache), and
+// scheduled-warm (same scheduler again, cache populated). The study
+// block is the committed evidence for the scheduler's speedup.
+//
 // Usage:
 //
 //	carfbench                        # all configs, histo at scale 0.5
 //	carfbench -kernel crc64 -iters 9
+//	carfbench -study -jobs 4         # add the full-study scheduler benchmark
 //	carfbench -out BENCH.json
 package main
 
@@ -22,9 +30,11 @@ import (
 	"time"
 
 	"carf/internal/core"
+	"carf/internal/experiments"
 	"carf/internal/harden"
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
+	"carf/internal/sched"
 	"carf/internal/vm"
 	"carf/internal/workload"
 )
@@ -37,6 +47,32 @@ type report struct {
 	Iters     int            `json:"iters"`
 	GoVersion string         `json:"go_version"`
 	Configs   []configResult `json:"configs"`
+
+	// Study is present with -study: full-suite wall clock under the
+	// serial / scheduled-cold / scheduled-warm configurations.
+	StudyScale float64       `json:"study_scale,omitempty"`
+	StudyJobs  int           `json:"study_jobs,omitempty"`
+	Study      []studyResult `json:"study,omitempty"`
+}
+
+// schedCounters is a scheduler's activity during one study configuration.
+type schedCounters struct {
+	Runs             uint64  `json:"runs"`
+	Misses           uint64  `json:"misses"`
+	Hits             uint64  `json:"hits"`
+	Joins            uint64  `json:"joins"`
+	CacheEntries     int     `json:"cache_entries"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	SimWallSeconds   float64 `json:"sim_wall_seconds"`
+}
+
+// studyResult is one full-suite timing.
+type studyResult struct {
+	Name            string        `json:"name"`
+	Experiments     int           `json:"experiments"`
+	WallSeconds     float64       `json:"wall_seconds"`
+	SpeedupVsSerial float64       `json:"speedup_vs_serial"`
+	Sched           schedCounters `json:"sched"`
 }
 
 // configResult is one configuration's steady-state measurement: totals
@@ -124,12 +160,112 @@ func measure(name string, prog *vm.Program, fn runner, iters int) (configResult,
 	}, nil
 }
 
+// counters converts a scheduler stats delta into the report shape.
+func counters(st sched.Stats) schedCounters {
+	return schedCounters{
+		Runs:             st.Runs,
+		Misses:           st.Misses,
+		Hits:             st.Hits,
+		Joins:            st.Joins,
+		CacheEntries:     st.CacheEntries,
+		QueueWaitSeconds: st.QueueWait.Seconds(),
+		SimWallSeconds:   st.SimWall.Seconds(),
+	}
+}
+
+// runSuiteOn runs every experiment at the given scale on scheduler s,
+// at most jobs at a time, and returns the wall clock. Rendered output is
+// produced and discarded — rendering is part of what the study times.
+func runSuiteOn(names []string, scale float64, jobs int, s *sched.Scheduler) (time.Duration, error) {
+	start := time.Now()
+	sem := make(chan struct{}, jobs)
+	errs := make([]error, len(names))
+	donech := make(chan int, len(names))
+	for i, name := range names {
+		go func(i int, name string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := experiments.Run(name, experiments.Options{Scale: scale, Sched: s})
+			if err == nil {
+				_ = r.Render()
+			}
+			errs[i] = err
+			donech <- i
+		}(i, name)
+	}
+	for range names {
+		<-donech
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// runStudy times the full experiment suite under the three scheduler
+// configurations and returns their results in order.
+func runStudy(scale float64, jobs int) ([]studyResult, error) {
+	names := experiments.Names()
+	var out []studyResult
+
+	// Serial: the pre-scheduler behaviour — one experiment at a time,
+	// each on a fresh pool with memoization and deduplication off, so
+	// nothing is shared between (or within) experiments.
+	serialStart := time.Now()
+	for _, name := range names {
+		s := sched.New(0)
+		s.DisableMemo()
+		if _, err := runSuiteOn([]string{name}, scale, 1, s); err != nil {
+			return nil, fmt.Errorf("serial %s: %v", name, err)
+		}
+	}
+	serial := time.Since(serialStart)
+	out = append(out, studyResult{
+		Name: "serial", Experiments: len(names),
+		WallSeconds: serial.Seconds(), SpeedupVsSerial: 1,
+	})
+
+	// Scheduled, cold cache: one shared scheduler, concurrent
+	// experiments, every run memoized as it completes.
+	s := sched.New(0)
+	cold, err := runSuiteOn(names, scale, jobs, s)
+	if err != nil {
+		return nil, fmt.Errorf("scheduled-cold: %v", err)
+	}
+	coldStats := s.Stats()
+	out = append(out, studyResult{
+		Name: "scheduled-cold", Experiments: len(names),
+		WallSeconds:     cold.Seconds(),
+		SpeedupVsSerial: serial.Seconds() / cold.Seconds(),
+		Sched:           counters(coldStats),
+	})
+
+	// Scheduled, warm cache: the same scheduler again — every
+	// simulation should now be a cache hit.
+	warm, err := runSuiteOn(names, scale, jobs, s)
+	if err != nil {
+		return nil, fmt.Errorf("scheduled-warm: %v", err)
+	}
+	out = append(out, studyResult{
+		Name: "scheduled-warm", Experiments: len(names),
+		WallSeconds:     warm.Seconds(),
+		SpeedupVsSerial: serial.Seconds() / warm.Seconds(),
+		Sched:           counters(s.Stats().Delta(coldStats)),
+	})
+	return out, nil
+}
+
 func main() {
 	var (
-		kernel = flag.String("kernel", "histo", "workload kernel to simulate")
-		scale  = flag.Float64("scale", 0.5, "workload scale factor")
-		iters  = flag.Int("iters", 5, "timed runs per configuration")
-		out    = flag.String("out", "", "write JSON to this file instead of stdout")
+		kernel     = flag.String("kernel", "histo", "workload kernel to simulate")
+		scale      = flag.Float64("scale", 0.5, "workload scale factor")
+		iters      = flag.Int("iters", 5, "timed runs per configuration")
+		study      = flag.Bool("study", false, "also time the full experiment suite (serial vs scheduled)")
+		studyScale = flag.Float64("study-scale", 0.25, "workload scale for the -study suite")
+		jobs       = flag.Int("jobs", 4, "concurrent experiments in the -study scheduled configurations")
+		out        = flag.String("out", "", "write JSON to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -155,6 +291,21 @@ func main() {
 		rep.Configs = append(rep.Configs, res)
 		fmt.Fprintf(os.Stderr, "carfbench: %-8s %12.0f instr/s  %6.1f ns/instr  %.4f allocs/instr\n",
 			c.name, res.InstrPerSec, res.NsPerInstr, res.AllocsPerInst)
+	}
+
+	if *study {
+		rep.StudyScale = *studyScale
+		rep.StudyJobs = *jobs
+		results, err := runStudy(*studyScale, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carfbench:", err)
+			os.Exit(1)
+		}
+		rep.Study = results
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "carfbench: study %-15s %6.1fs  %.2fx vs serial  (%d run, %d cached, %d joined)\n",
+				r.Name, r.WallSeconds, r.SpeedupVsSerial, r.Sched.Misses, r.Sched.Hits, r.Sched.Joins)
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

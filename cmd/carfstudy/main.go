@@ -2,10 +2,18 @@
 // table, the sensitivity sweeps, and the extension studies. Output goes
 // to stdout or, with -out, to a file (EXPERIMENTS.md quotes such a run).
 //
+// Experiments run concurrently (-jobs) through the process-global
+// simulation scheduler: the pool bound is shared across all of them,
+// identical simulations are deduplicated, and completed runs are
+// memoized, so the full study reuses most of its work. Output streams
+// in experiment order regardless of completion order, and the rendered
+// results are byte-identical at any -jobs value.
+//
 // Usage:
 //
 //	carfstudy                      # everything, standard experiment scale
 //	carfstudy -exp fig5,table2     # selected experiments
+//	carfstudy -jobs 4              # run up to 4 experiments concurrently
 //	carfstudy -scale 1.0           # full-size workloads (slower)
 //	carfstudy -list
 package main
@@ -20,10 +28,18 @@ import (
 	"carf"
 )
 
+// result is one experiment's rendered output (or failure).
+type result struct {
+	text    string
+	err     error
+	elapsed time.Duration
+}
+
 func main() {
 	var (
 		exps  = flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
 		scale = flag.Float64("scale", 0.25, "workload scale factor")
+		jobs  = flag.Int("jobs", 1, "experiments to run concurrently (simulation parallelism is bounded by the shared scheduler pool)")
 		out   = flag.String("out", "", "write results to this file instead of stdout")
 		list  = flag.Bool("list", false, "list experiments, then exit")
 	)
@@ -40,10 +56,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "carfstudy:", err)
 		os.Exit(1)
 	}
+	if *jobs < 1 {
+		*jobs = 1
+	}
 
 	names := carf.Experiments()
 	if *exps != "all" {
 		names = strings.Split(*exps, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
 	}
 
 	w := os.Stdout
@@ -53,20 +75,47 @@ func main() {
 			fmt.Fprintln(os.Stderr, "carfstudy:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 
+	start := time.Now()
 	fmt.Fprintf(w, "carfstudy: content-aware register file evaluation (scale %.2f)\n\n", *scale)
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		start := time.Now()
-		text, err := carf.RunExperiment(name, carf.ExperimentOptions{Scale: *scale})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "carfstudy:", err)
+
+	// Launch up to -jobs experiments at once; each delivers into its own
+	// single-slot channel so the printer below can stream results in
+	// experiment order while later experiments keep running. Simulation
+	// concurrency inside them stays bounded by the global scheduler pool.
+	sem := make(chan struct{}, *jobs)
+	done := make([]chan result, len(names))
+	for i, name := range names {
+		done[i] = make(chan result, 1)
+		go func(name string, ch chan<- result) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			text, err := carf.RunExperiment(name, carf.ExperimentOptions{Scale: *scale})
+			ch <- result{text: text, err: err, elapsed: time.Since(t0)}
+		}(name, done[i])
+	}
+
+	for i, name := range names {
+		r := <-done[i]
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, "carfstudy:", r.err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "== %s: %s (%.1fs)\n\n%s\n", name, carf.DescribeExperiment(name),
-			time.Since(start).Seconds(), text)
+			r.elapsed.Seconds(), r.text)
+	}
+
+	st := carf.GlobalSchedulerStats()
+	fmt.Fprintf(w, "total: %d experiments in %.1fs (jobs %d; %d simulations: %d run, %d cached, %d joined)\n",
+		len(names), time.Since(start).Seconds(), *jobs, st.Runs, st.Misses, st.Hits, st.Joins)
+
+	if *out != "" {
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "carfstudy:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"carf/internal/core"
 	"carf/internal/pipeline"
 	"carf/internal/profile"
+	"carf/internal/sched"
 	"carf/internal/stats"
 	"carf/internal/workload"
 )
@@ -43,6 +44,42 @@ func CPIStackStudy(opt Options) (Result, error) {
 		{"carf-8long", carfSpec(pressuredParams())},
 	}
 
+	// One scheduler job per (kernel, org) cell; a profiled run carries a
+	// different instrumentation cost than a plain one, so "cpistack" runs
+	// get their own key kind and never alias the registry's plain runs.
+	// The cached profile.CPIStack is a plain value: each cell gets its
+	// own copy and the slot-identity check happens inside the job.
+	cfg := pipeline.DefaultConfig()
+	cells := make([]profile.CPIStack, len(cpiKernels)*len(orgs))
+	err := sched.ForEach(len(cells), func(idx int) error {
+		name := cpiKernels[idx/len(orgs)]
+		org := orgs[idx%len(orgs)]
+		key := runKey("cpistack", opt, name, org.spec.id, cfg, "profiled")
+		v, _, err := opt.Sched.Do(key, true, func() (any, error) {
+			k, err := workload.ByName(name, opt.Scale)
+			if err != nil {
+				return nil, err
+			}
+			cpu := pipeline.New(cfg, k.Prog, org.spec.new())
+			prof := cpu.InstallProfiler()
+			if _, err := cpu.Run(); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", name, org.label, err)
+			}
+			if err := prof.Stack.CheckIdentity(); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", name, org.label, err)
+			}
+			return prof.Stack, nil
+		})
+		if err != nil {
+			return err
+		}
+		cells[idx] = v.(profile.CPIStack)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
 	// stacks[kernel][org]
 	stacks := make([][]*profile.CPIStack, len(cpiKernels))
 	shareT := stats.Table{
@@ -52,23 +89,12 @@ func CPIStackStudy(opt Options) (Result, error) {
 	for i, name := range cpiKernels {
 		stacks[i] = make([]*profile.CPIStack, len(orgs))
 		for j, org := range orgs {
-			k, err := workload.ByName(name, opt.Scale)
-			if err != nil {
-				return Result{}, err
-			}
-			cpu := pipeline.New(pipeline.DefaultConfig(), k.Prog, org.spec())
-			prof := cpu.InstallProfiler()
-			if _, err := cpu.Run(); err != nil {
-				return Result{}, fmt.Errorf("%s on %s: %w", name, org.label, err)
-			}
-			if err := prof.Stack.CheckIdentity(); err != nil {
-				return Result{}, fmt.Errorf("%s on %s: %w", name, org.label, err)
-			}
-			stacks[i][j] = &prof.Stack
+			st := &cells[i*len(orgs)+j]
+			stacks[i][j] = st
 
-			row := []string{name, org.label, stats.F3(prof.Stack.CPI())}
+			row := []string{name, org.label, stats.F3(st.CPI())}
 			for _, c := range profile.Categories() {
-				row = append(row, stats.Pct(prof.Stack.Share(c)))
+				row = append(row, stats.Pct(st.Share(c)))
 			}
 			shareT.Rows = append(shareT.Rows, row)
 		}

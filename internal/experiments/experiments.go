@@ -8,12 +8,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"carf/internal/core"
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
+	"carf/internal/sched"
 	"carf/internal/stats"
 	"carf/internal/workload"
 )
@@ -25,8 +24,16 @@ type Options struct {
 	Scale float64
 	// SamplePeriod is the live-value oracle sampling period in cycles.
 	SamplePeriod int
-	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallel bounds concurrent simulations. The bound applies to the
+	// scheduler's *global* worker pool, which is shared by every
+	// concurrently-executing experiment — it is not a per-experiment
+	// limit. 0 leaves the pool at its current size (GOMAXPROCS unless
+	// resized earlier).
 	Parallel int
+	// Sched routes this run's simulations through a specific scheduler
+	// (nil = the process-global sched.Global()). Tests and benchmarks
+	// use isolated schedulers to measure cold/warm/serial cache states.
+	Sched *sched.Scheduler
 }
 
 func (o Options) withDefaults() Options {
@@ -36,8 +43,11 @@ func (o Options) withDefaults() Options {
 	if o.SamplePeriod <= 0 {
 		o.SamplePeriod = 128
 	}
-	if o.Parallel <= 0 {
-		o.Parallel = runtime.GOMAXPROCS(0)
+	if o.Sched == nil {
+		o.Sched = sched.Global()
+	}
+	if o.Parallel > 0 {
+		o.Sched.SetWorkers(o.Parallel)
 	}
 	return o
 }
@@ -129,17 +139,29 @@ func RunAll(opt Options) ([]Result, error) {
 }
 
 // modelSpec builds a fresh register file model per simulation (models
-// are stateful and single-run).
-type modelSpec func() regfile.Model
-
-func baselineSpec() modelSpec  { return func() regfile.Model { return regfile.Baseline() } }
-func unlimitedSpec() modelSpec { return func() regfile.Model { return regfile.Unlimited() } }
-
-func carfSpec(p core.Params) modelSpec {
-	return func() regfile.Model { return core.New(p) }
+// are stateful and single-run). The id is the spec's contribution to
+// the scheduler's memoization key: two specs with equal ids must build
+// behaviourally identical models.
+type modelSpec struct {
+	id  string
+	new func() regfile.Model
 }
 
-// runOut is one simulation's harvest.
+func baselineSpec() modelSpec {
+	return modelSpec{"baseline", func() regfile.Model { return regfile.Baseline() }}
+}
+
+func unlimitedSpec() modelSpec {
+	return modelSpec{"unlimited", func() regfile.Model { return regfile.Unlimited() }}
+}
+
+func carfSpec(p core.Params) modelSpec {
+	return modelSpec{fmt.Sprintf("carf%+v", p), func() regfile.Model { return core.New(p) }}
+}
+
+// runOut is one simulation's harvest. Cached runOuts are shared across
+// experiments: everything reachable from one (pstats, files, carf) is
+// an immutable snapshot and must only be read.
 type runOut struct {
 	kernel workload.Kernel
 	pstats pipeline.Stats
@@ -147,15 +169,21 @@ type runOut struct {
 	carf   *core.Stats
 }
 
-// runOne simulates kernel k on a fresh model.
-func runOne(k workload.Kernel, spec modelSpec, sampler pipeline.LiveSampler, period int) (runOut, error) {
-	return runOneCfg(k, spec, pipeline.DefaultConfig(), sampler, period)
+// runKey digests everything a plain simulation's result depends on.
+// kind separates request families that run different harnesses on the
+// same inputs (plain sim, oracle-sampled, profiled, ...); extras carry
+// family-specific knobs (sampler periods, fault descriptors).
+func runKey(kind string, opt Options, kernel string, specID string, cfg pipeline.Config, extra ...any) sched.Key {
+	parts := append([]any{kind, kernel, opt.Scale, specID, cfg}, extra...)
+	return sched.KeyOf(parts...)
 }
 
-// runOneCfg simulates kernel k with an explicit pipeline configuration
-// (ablations: bypass depth, widths).
-func runOneCfg(k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pipeline.LiveSampler, period int) (runOut, error) {
-	model := spec()
+// simulate runs kernel k on a fresh model, optionally with a live-value
+// sampler attached. It is the scheduler-job body shared by every
+// harvesting path; callers go through runOneCfg (or a sibling wrapper)
+// so the run is pooled and memoized.
+func simulate(k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pipeline.LiveSampler, period int) (runOut, error) {
+	model := spec.new()
 	cpu := pipeline.New(cfg, k.Prog, model)
 	if sampler != nil {
 		cpu.SetSampler(sampler, period)
@@ -176,8 +204,27 @@ func runOneCfg(k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler p
 	return out, nil
 }
 
-// runSuite simulates every kernel of a suite on fresh models, in
-// parallel, returning results in suite order.
+// runOne simulates kernel k on a fresh model through the scheduler.
+func runOne(k workload.Kernel, spec modelSpec, opt Options) (runOut, error) {
+	return runOneCfg(k, spec, pipeline.DefaultConfig(), opt)
+}
+
+// runOneCfg is runOne with an explicit pipeline configuration
+// (ablations: bypass depth, widths). The run is submitted to the
+// scheduler: concurrency is bounded by the shared worker pool and the
+// result is memoized by (kernel, scale, model spec, config).
+func runOneCfg(k workload.Kernel, spec modelSpec, cfg pipeline.Config, opt Options) (runOut, error) {
+	v, _, err := opt.Sched.Do(runKey("sim", opt, k.Name, spec.id, cfg), true, func() (any, error) {
+		return simulate(k, spec, cfg, nil, 0)
+	})
+	if err != nil {
+		return runOut{}, err
+	}
+	return v.(runOut), nil
+}
+
+// runSuite simulates every kernel of a suite on fresh models through
+// the scheduler, returning results in suite order.
 func runSuite(kernels []workload.Kernel, spec modelSpec, opt Options) ([]runOut, error) {
 	return runSuiteCfg(kernels, spec, pipeline.DefaultConfig(), opt)
 }
@@ -185,23 +232,13 @@ func runSuite(kernels []workload.Kernel, spec modelSpec, opt Options) ([]runOut,
 // runSuiteCfg is runSuite with an explicit pipeline configuration.
 func runSuiteCfg(kernels []workload.Kernel, spec modelSpec, cfg pipeline.Config, opt Options) ([]runOut, error) {
 	outs := make([]runOut, len(kernels))
-	errs := make([]error, len(kernels))
-	sem := make(chan struct{}, opt.Parallel)
-	var wg sync.WaitGroup
-	for i, k := range kernels {
-		wg.Add(1)
-		go func(i int, k workload.Kernel) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = runOneCfg(k, spec, cfg, nil, 0)
-		}(i, k)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := sched.ForEach(len(kernels), func(i int) error {
+		var err error
+		outs[i], err = runOneCfg(kernels[i], spec, cfg, opt)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

@@ -3,11 +3,11 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"carf/internal/core"
 	"carf/internal/harden"
 	"carf/internal/pipeline"
+	"carf/internal/sched"
 	"carf/internal/stats"
 	"carf/internal/workload"
 )
@@ -49,15 +49,35 @@ func faultParams() core.Params {
 // RunFaultInjection runs one seeded injection against kernel (at the
 // given scale) and classifies the outcome. The returned error reports
 // infrastructure failures (unknown kernel, invalid config) — a detected
-// fault is a success and lands in Outcome.Err instead.
+// fault is a success and lands in Outcome.Err instead. The run goes
+// through the global scheduler; the fault descriptor and every checker
+// knob are part of the memoization key, so a checked/injected run can
+// never be served the result of a clean one (or vice versa).
 func RunFaultInjection(kernel string, scale float64, f harden.Fault) (harden.Outcome, error) {
+	return runFaultInjection(sched.Global(), kernel, scale, f)
+}
+
+func runFaultInjection(s *sched.Scheduler, kernel string, scale float64, f harden.Fault) (harden.Outcome, error) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Harden = faultHardenOptions()
+	p := faultParams()
+	key := sched.KeyOf("fault", kernel, scale, fmt.Sprintf("carf%+v", p), cfg, f)
+	v, _, err := s.Do(key, true, func() (any, error) {
+		return injectOnce(kernel, scale, cfg, p, f)
+	})
+	if err != nil {
+		return harden.Outcome{}, err
+	}
+	return v.(harden.Outcome), nil
+}
+
+// injectOnce is the scheduler-job body of one seeded campaign run.
+func injectOnce(kernel string, scale float64, cfg pipeline.Config, p core.Params, f harden.Fault) (harden.Outcome, error) {
 	k, err := workload.ByName(kernel, scale)
 	if err != nil {
 		return harden.Outcome{}, err
 	}
-	cfg := pipeline.DefaultConfig()
-	cfg.Harden = faultHardenOptions()
-	cpu, err := pipeline.NewChecked(cfg, k.Prog, core.New(faultParams()))
+	cpu, err := pipeline.NewChecked(cfg, k.Prog, core.New(p))
 	if err != nil {
 		return harden.Outcome{}, err
 	}
@@ -116,27 +136,16 @@ func Faults(opt Options) (Result, error) {
 		}
 	}
 	outs := make([]harden.Outcome, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, opt.Parallel)
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = RunFaultInjection(faultKernel, opt.Scale, harden.Fault{
-				Class: classes[j.class],
-				Cycle: faultInjectCycle,
-				Seed:  faultSeeds[j.seed],
-			})
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
+	if err := sched.ForEach(len(jobs), func(i int) error {
+		var err error
+		outs[i], err = runFaultInjection(opt.Sched, faultKernel, opt.Scale, harden.Fault{
+			Class: classes[jobs[i].class],
+			Cycle: faultInjectCycle,
+			Seed:  faultSeeds[jobs[i].seed],
+		})
+		return err
+	}); err != nil {
+		return Result{}, err
 	}
 
 	t := stats.Table{

@@ -2,51 +2,53 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"carf/internal/oracle"
+	"carf/internal/pipeline"
+	"carf/internal/sched"
 	"carf/internal/stats"
 	"carf/internal/workload"
 )
 
 // oracleSuite runs every kernel of a suite on the baseline machine with
-// one live-value analyzer per requested d, merged across kernels.
+// one live-value analyzer per requested d, merged across kernels. Each
+// kernel's sampled run goes through the scheduler keyed on (kernel,
+// scale, d-list, sampling period), so fig1 and fig2 share runs when
+// they request the same analysis; the per-kernel analyzers in the
+// cache are immutable — Merge only reads its argument — and the merge
+// happens in suite order after every run completes.
 func oracleSuite(kernels []workload.Kernel, ds []int, opt Options) ([]*oracle.Analyzer, error) {
-	merged := make([]*oracle.Analyzer, len(ds))
-	for i, d := range ds {
-		merged[i] = oracle.NewAnalyzer(d)
-	}
-	var mu sync.Mutex
-	errs := make([]error, len(kernels))
-	sem := make(chan struct{}, opt.Parallel)
-	var wg sync.WaitGroup
-	for i, k := range kernels {
-		wg.Add(1)
-		go func(i int, k workload.Kernel) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			local := make(oracle.Fanout, len(ds))
+	perKernel := make([][]*oracle.Analyzer, len(kernels))
+	cfg := pipeline.DefaultConfig()
+	err := sched.ForEach(len(kernels), func(i int) error {
+		k := kernels[i]
+		key := runKey("oracle", opt, k.Name, "baseline", cfg, ds, opt.SamplePeriod)
+		v, _, err := opt.Sched.Do(key, true, func() (any, error) {
 			analyzers := make([]*oracle.Analyzer, len(ds))
+			local := make(oracle.Fanout, len(ds))
 			for j, d := range ds {
 				analyzers[j] = oracle.NewAnalyzer(d)
 				local[j] = analyzers[j]
 			}
-			if _, err := runOne(k, baselineSpec(), local, opt.SamplePeriod); err != nil {
-				errs[i] = err
-				return
+			if _, err := simulate(k, baselineSpec(), cfg, local, opt.SamplePeriod); err != nil {
+				return nil, err
 			}
-			mu.Lock()
-			for j := range merged {
-				merged[j].Merge(analyzers[j])
-			}
-			mu.Unlock()
-		}(i, k)
-	}
-	wg.Wait()
-	for _, err := range errs {
+			return analyzers, nil
+		})
 		if err != nil {
-			return nil, err
+			return err
+		}
+		perKernel[i] = v.([]*oracle.Analyzer)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := make([]*oracle.Analyzer, len(ds))
+	for j, d := range ds {
+		merged[j] = oracle.NewAnalyzer(d)
+		for i := range kernels {
+			merged[j].Merge(perKernel[i][j])
 		}
 	}
 	return merged, nil

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"carf/internal/oracle"
+	"carf/internal/sched"
 	"carf/internal/stats"
 	"carf/internal/vm"
 	"carf/internal/workload"
@@ -46,24 +46,20 @@ func Memloc(opt Options) (Result, error) {
 		Header: []string{"suite", "stream", "d=8", "d=16", "d=24"},
 	}
 	for _, suite := range suites {
-		merged := newStreams()
-		var mu sync.Mutex
-		errs := make([]error, len(suite.kernels))
-		sem := make(chan struct{}, opt.Parallel)
-		var wg sync.WaitGroup
-		for i, k := range suite.kernels {
-			wg.Add(1)
-			go func(i int, k workload.Kernel) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+		// One scheduler job per kernel, keyed on the analysis inputs
+		// (functional execution only — no pipeline configuration). The
+		// cached streams are read-only; Merge copies their sums out.
+		perKernel := make([]streams, len(suite.kernels))
+		err := sched.ForEach(len(suite.kernels), func(i int) error {
+			k := suite.kernels[i]
+			key := sched.KeyOf("memloc", k.Name, opt.Scale, ds, memWindow)
+			v, _, err := opt.Sched.Do(key, true, func() (any, error) {
 				local := newStreams()
 				m := vm.New(k.Prog)
 				for !m.Halted {
 					_, eff, err := m.Step()
 					if err != nil {
-						errs[i] = fmt.Errorf("%s: %w", k.Name, err)
-						return
+						return nil, fmt.Errorf("%s: %w", k.Name, err)
 					}
 					if !eff.Mem {
 						continue
@@ -77,18 +73,22 @@ func Memloc(opt Options) (Result, error) {
 						local.data[j].Note(value)
 					}
 				}
-				mu.Lock()
-				for j := range ds {
-					merged.addr[j].Merge(local.addr[j])
-					merged.data[j].Merge(local.data[j])
-				}
-				mu.Unlock()
-			}(i, k)
-		}
-		wg.Wait()
-		for _, err := range errs {
+				return local, nil
+			})
 			if err != nil {
-				return Result{}, err
+				return err
+			}
+			perKernel[i] = v.(streams)
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		merged := newStreams()
+		for i := range suite.kernels {
+			for j := range ds {
+				merged.addr[j].Merge(perKernel[i].addr[j])
+				merged.data[j].Merge(perKernel[i].data[j])
 			}
 		}
 		addrRow := []string{suite.label, "addresses"}

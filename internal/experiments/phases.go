@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"carf/internal/core"
 	"carf/internal/metrics"
 	"carf/internal/pipeline"
+	"carf/internal/sched"
 	"carf/internal/stats"
 	"carf/internal/workload"
 )
@@ -31,31 +31,32 @@ func Phases(opt Options) (Result, error) {
 		series metrics.TimeSeries
 		ipc    float64
 	}
+	// Metric-sampled runs are memoized like plain ones; the sampling
+	// interval is part of the key, and the cached series is read-only
+	// (Column and Summarize never mutate it).
+	spec := carfSpec(core.DefaultParams())
+	cfg := pipeline.DefaultConfig()
 	outs := make([]out, len(kernels))
-	errs := make([]error, len(kernels))
-	sem := make(chan struct{}, opt.Parallel)
-	var wg sync.WaitGroup
-	for i, k := range kernels {
-		wg.Add(1)
-		go func(i int, k workload.Kernel) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cpu := pipeline.New(pipeline.DefaultConfig(), k.Prog, core.New(core.DefaultParams()))
+	err := sched.ForEach(len(kernels), func(i int) error {
+		k := kernels[i]
+		key := runKey("phases", opt, k.Name, spec.id, cfg, phasesInterval)
+		v, _, err := opt.Sched.Do(key, true, func() (any, error) {
+			cpu := pipeline.New(cfg, k.Prog, spec.new())
 			sampler := cpu.InstallMetrics(metrics.NewRegistry(), phasesInterval)
 			st, err := cpu.Run()
 			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", k.Name, err)
-				return
+				return nil, fmt.Errorf("%s: %w", k.Name, err)
 			}
-			outs[i] = out{kernel: k.Name, series: sampler.Series(), ipc: st.IPC()}
-		}(i, k)
-	}
-	wg.Wait()
-	for _, err := range errs {
+			return out{kernel: k.Name, series: sampler.Series(), ipc: st.IPC()}, nil
+		})
 		if err != nil {
-			return Result{}, err
+			return err
 		}
+		outs[i] = v.(out)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	ipcT := stats.Table{

@@ -10,6 +10,41 @@ import (
 	"carf/internal/workload"
 )
 
+// smtOut is one two-thread simulation's harvest: per-thread stats plus
+// the shared file's occupancy, captured inside the scheduler job so the
+// cached value is a plain immutable snapshot.
+type smtOut struct {
+	sts         [2]pipeline.Stats
+	avgLiveLong float64
+}
+
+// runSMT simulates kernels a and b sharing one content-aware file built
+// from p under the given thread-priority policy, pooled and memoized
+// like every other run (the policy and file parameters key the cache).
+func runSMT(a, b workload.Kernel, p core.Params, pol pipeline.SMTPolicy, opt Options) (smtOut, error) {
+	cfg := pipeline.DefaultConfig()
+	key := runKey("smt", opt, a.Name+"+"+b.Name, fmt.Sprintf("carf%+v", p), cfg, pol)
+	v, _, err := opt.Sched.Do(key, true, func() (any, error) {
+		model := core.New(p)
+		smt := pipeline.NewSMT(cfg, [2]*vm.Program{a.Prog, b.Prog}, model)
+		smt.SetPolicy(pol)
+		sts, err := smt.Run()
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range []workload.Kernel{a, b} {
+			if got := smt.Thread(i).Machine().X[workload.ResultReg]; got != k.Expected {
+				return nil, fmt.Errorf("smt %s (policy %s): result %#x, want %#x", k.Name, pol, got, k.Expected)
+			}
+		}
+		return smtOut{sts: sts, avgLiveLong: model.Stats().AvgLiveLong()}, nil
+	})
+	if err != nil {
+		return smtOut{}, err
+	}
+	return v.(smtOut), nil
+}
+
 // smtPolicyStudy compares the §6 thread-priority policies on a
 // long-value-heavy pair with a deliberately small shared Long file
 // (pressure makes the policy matter).
@@ -29,22 +64,14 @@ func smtPolicyStudy(opt Options) (stats.Table, error) {
 	for _, pol := range []pipeline.SMTPolicy{pipeline.PolicyRoundRobin, pipeline.PolicyLongAware} {
 		p := core.DefaultParams()
 		p.NumLong = 24
-		model := core.New(p)
-		smt := pipeline.NewSMT(pipeline.DefaultConfig(), [2]*vm.Program{ka.Prog, kb.Prog}, model)
-		smt.SetPolicy(pol)
-		sts, err := smt.Run()
+		o, err := runSMT(ka, kb, p, pol, opt)
 		if err != nil {
 			return stats.Table{}, err
 		}
-		for i, k := range []workload.Kernel{ka, kb} {
-			if got := smt.Thread(i).Machine().X[workload.ResultReg]; got != k.Expected {
-				return stats.Table{}, fmt.Errorf("smt policy %s, %s: result %#x, want %#x", pol, k.Name, got, k.Expected)
-			}
-		}
 		tb.AddRow(pol.String(),
-			stats.F3(sts[0].IPC()+sts[1].IPC()),
-			fmt.Sprintf("%d", sts[0].RecoveryStallCycles+sts[1].RecoveryStallCycles),
-			fmt.Sprintf("%d", sts[0].LongStallCycles+sts[1].LongStallCycles))
+			stats.F3(o.sts[0].IPC()+o.sts[1].IPC()),
+			fmt.Sprintf("%d", o.sts[0].RecoveryStallCycles+o.sts[1].RecoveryStallCycles),
+			fmt.Sprintf("%d", o.sts[0].LongStallCycles+o.sts[1].LongStallCycles))
 	}
 	tb.AddNote("the long-aware policy throttles the thread hoarding Long entries when the shared file runs low")
 	return tb, nil
@@ -64,37 +91,29 @@ func smtPair(a, b string, opt Options) ([]string, error) {
 		return nil, err
 	}
 
-	soloA, err := runOne(ka, carfSpec(core.DefaultParams()), nil, 0)
+	soloA, err := runOne(ka, carfSpec(core.DefaultParams()), opt)
 	if err != nil {
 		return nil, err
 	}
-	soloB, err := runOne(kb, carfSpec(core.DefaultParams()), nil, 0)
+	soloB, err := runOne(kb, carfSpec(core.DefaultParams()), opt)
 	if err != nil {
 		return nil, err
 	}
 
-	model := core.New(core.DefaultParams())
-	smt := pipeline.NewSMT(pipeline.DefaultConfig(), [2]*vm.Program{ka.Prog, kb.Prog}, model)
-	sts, err := smt.Run()
+	o, err := runSMT(ka, kb, core.DefaultParams(), pipeline.PolicyRoundRobin, opt)
 	if err != nil {
 		return nil, err
-	}
-	for i, k := range []workload.Kernel{ka, kb} {
-		if got := smt.Thread(i).Machine().X[workload.ResultReg]; got != k.Expected {
-			return nil, fmt.Errorf("smt %s: result %#x, want %#x", k.Name, got, k.Expected)
-		}
 	}
 
 	// Per-thread IPC is measured over each thread's own active cycles,
 	// so a short thread draining early does not count as idle loss.
-	combined := sts[0].IPC() + sts[1].IPC()
+	combined := o.sts[0].IPC() + o.sts[1].IPC()
 	soloSum := soloA.pstats.IPC() + soloB.pstats.IPC()
-	cs := model.Stats()
 	return []string{
 		a + "+" + b,
 		stats.F3(combined),
 		stats.Pct(combined / soloSum),
-		stats.F3(cs.AvgLiveLong()),
-		fmt.Sprintf("%d", sts[0].RecoveryStallCycles+sts[1].RecoveryStallCycles),
+		stats.F3(o.avgLiveLong),
+		fmt.Sprintf("%d", o.sts[0].RecoveryStallCycles+o.sts[1].RecoveryStallCycles),
 	}, nil
 }

@@ -111,8 +111,11 @@ func portSweep(opt Options, ints []workload.Kernel) (stats.Table, error) {
 	}
 	var refIPC float64
 	for i, pc := range sweep {
-		spec := func() regfile.Model {
-			return regfile.NewConventional("ports", 112, pc.rd, pc.wr)
+		spec := modelSpec{
+			id: fmt.Sprintf("conv:ports:%dR%dW", pc.rd, pc.wr),
+			new: func() regfile.Model {
+				return regfile.NewConventional("ports", 112, pc.rd, pc.wr)
+			},
 		}
 		outs, err := runSuiteCfg(ints, spec, cfg, opt)
 		if err != nil {

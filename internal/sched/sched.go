@@ -1,0 +1,324 @@
+// Package sched is the process-global simulation scheduler: every
+// experiment submits its simulations to one bounded worker pool instead
+// of running a private semaphore, and completed runs are memoized in a
+// content-addressed cache so two experiments requesting the same
+// (kernel, model, configuration) combination share one execution.
+//
+// Three mechanisms compose:
+//
+//   - A resizable bounded pool. Do blocks until a worker slot is free,
+//     so the total simulation concurrency stays bounded no matter how
+//     many experiments fan out at once.
+//   - Content-keyed memoization. Cacheable runs are stored by a digest
+//     of everything that determines their result (see KeyOf); a later
+//     request with the same key returns the stored value without
+//     simulating. Cached values are immutable snapshots — callers must
+//     not mutate anything reachable from a returned value.
+//   - Singleflight deduplication. A request whose key matches a run
+//     already in flight joins it (waits for the one execution) instead
+//     of starting a second simulation.
+//
+// Every Do call returns a Provenance (hit / miss / joined, queue wait,
+// simulation wall time); cumulative counters are available through
+// Stats and, for interval sampling and export, through the scheduler's
+// metrics.Registry.
+package sched
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"carf/internal/metrics"
+)
+
+// Key is a content digest identifying one simulation request. Two
+// requests with equal keys must be guaranteed to produce identical
+// results (the simulator is deterministic, so a key covering every
+// result-affecting input is sufficient).
+type Key [sha256.Size]byte
+
+// KeyOf digests the given parts into a Key. Parts are rendered with
+// %#v, which spells out field names and values of nested structs, so
+// any config difference — and any field added to a config struct later
+// — changes the digest. Callers must include everything the run's
+// result depends on: kernel name, workload scale, model spec identity,
+// pipeline configuration, and any sampler/checker/injection knobs.
+func KeyOf(parts ...any) Key {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x1f", p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Outcome classifies how a Do call was served.
+type Outcome uint8
+
+const (
+	// Miss: the run was simulated by this call.
+	Miss Outcome = iota
+	// Hit: the result came from the completed-run cache.
+	Hit
+	// Joined: an identical run was already in flight; this call waited
+	// for it and shared its result.
+	Joined
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Joined:
+		return "joined"
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Provenance describes how one Do call was served. QueueWait and
+// SimWall are nonzero only for misses (the call that actually ran the
+// simulation).
+type Provenance struct {
+	Outcome   Outcome
+	QueueWait time.Duration // Do entry until a worker slot was acquired
+	SimWall   time.Duration // wall time inside the simulation function
+}
+
+// Stats is a snapshot of a scheduler's cumulative counters.
+type Stats struct {
+	Workers      int    // current pool bound
+	CacheEntries int    // completed runs held in the memo cache
+	Runs         uint64 // total Do calls
+	Misses       uint64 // runs simulated
+	Hits         uint64 // runs served from the cache
+	Joins        uint64 // runs that joined an in-flight execution
+	Errors       uint64 // simulations that returned an error (never cached)
+
+	QueueWait time.Duration // cumulative worker-slot wait over misses
+	SimWall   time.Duration // cumulative simulation wall time over misses
+}
+
+// Delta returns st minus prev, for measuring one phase of a scheduler's
+// life (cumulative counters only; Workers and CacheEntries are kept
+// from st).
+func (st Stats) Delta(prev Stats) Stats {
+	st.Runs -= prev.Runs
+	st.Misses -= prev.Misses
+	st.Hits -= prev.Hits
+	st.Joins -= prev.Joins
+	st.Errors -= prev.Errors
+	st.QueueWait -= prev.QueueWait
+	st.SimWall -= prev.SimWall
+	return st
+}
+
+// entry is one execution: in flight until done is closed, then an
+// immutable (val, err) pair.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Scheduler runs simulation closures through a bounded worker pool with
+// content-keyed memoization and in-flight deduplication. All methods
+// are safe for concurrent use.
+type Scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when a slot frees or the pool resizes
+
+	workers int
+	busy    int
+	memo    bool
+
+	cache    map[Key]*entry // completed, error-free runs
+	inflight map[Key]*entry
+
+	stats Stats
+
+	reg *metrics.Registry
+}
+
+// New returns a scheduler bounding concurrent simulations to workers
+// (<= 0 means GOMAXPROCS), with memoization enabled.
+func New(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{
+		workers:  workers,
+		memo:     true,
+		cache:    make(map[Key]*entry),
+		inflight: make(map[Key]*entry),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.reg = metrics.NewRegistry()
+	snap := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	s.reg.GaugeFunc("sched.workers", snap(func(st Stats) float64 { return float64(st.Workers) }))
+	s.reg.GaugeFunc("sched.cache_entries", snap(func(st Stats) float64 { return float64(st.CacheEntries) }))
+	s.reg.GaugeFunc("sched.runs", snap(func(st Stats) float64 { return float64(st.Runs) }))
+	s.reg.GaugeFunc("sched.misses", snap(func(st Stats) float64 { return float64(st.Misses) }))
+	s.reg.GaugeFunc("sched.hits", snap(func(st Stats) float64 { return float64(st.Hits) }))
+	s.reg.GaugeFunc("sched.joins", snap(func(st Stats) float64 { return float64(st.Joins) }))
+	s.reg.GaugeFunc("sched.errors", snap(func(st Stats) float64 { return float64(st.Errors) }))
+	s.reg.GaugeFunc("sched.queue_wait_ms", snap(func(st Stats) float64 { return float64(st.QueueWait) / float64(time.Millisecond) }))
+	s.reg.GaugeFunc("sched.sim_wall_ms", snap(func(st Stats) float64 { return float64(st.SimWall) / float64(time.Millisecond) }))
+	s.reg.GaugeFunc("sched.hit_rate", snap(func(st Stats) float64 {
+		if st.Runs == 0 {
+			return 0
+		}
+		return float64(st.Hits+st.Joins) / float64(st.Runs)
+	}))
+	return s
+}
+
+var (
+	globalOnce sync.Once
+	global     *Scheduler
+)
+
+// Global returns the process-global scheduler shared by every
+// experiment (created on first use, sized to GOMAXPROCS).
+func Global() *Scheduler {
+	globalOnce.Do(func() { global = New(0) })
+	return global
+}
+
+// SetWorkers resizes the pool bound (<= 0 means GOMAXPROCS). Shrinking
+// does not interrupt running simulations; the pool drains down to the
+// new bound as they finish.
+func (s *Scheduler) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.mu.Lock()
+	s.workers = n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Workers returns the current pool bound.
+func (s *Scheduler) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
+// DisableMemo turns off the completed-run cache and in-flight
+// deduplication: every Do executes its function (still through the
+// bounded pool). Benchmarks use this to measure the unmemoized
+// baseline.
+func (s *Scheduler) DisableMemo() {
+	s.mu.Lock()
+	s.memo = false
+	s.mu.Unlock()
+}
+
+// Stats snapshots the cumulative counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Workers = s.workers
+	st.CacheEntries = len(s.cache)
+	return st
+}
+
+// Metrics returns the scheduler's registry (sched.runs, sched.hits,
+// sched.misses, sched.joins, sched.queue_wait_ms, ...) for interval
+// sampling and export alongside the simulator's other series.
+func (s *Scheduler) Metrics() *metrics.Registry { return s.reg }
+
+// Do runs fn through the worker pool, deduplicating and memoizing by
+// key when cacheable is true. The returned value is shared by every
+// caller with the same key and must be treated as immutable. Errors
+// propagate to all joined callers but are never cached — a later
+// request with the same key retries.
+//
+// fn must not call Do on the same scheduler (a saturated pool of
+// parent runs waiting on child runs would deadlock).
+func (s *Scheduler) Do(key Key, cacheable bool, fn func() (any, error)) (any, Provenance, error) {
+	start := time.Now()
+	s.mu.Lock()
+	s.stats.Runs++
+	cacheable = cacheable && s.memo
+	if cacheable {
+		if e, ok := s.cache[key]; ok {
+			s.stats.Hits++
+			s.mu.Unlock()
+			return e.val, Provenance{Outcome: Hit}, nil
+		}
+		if e, ok := s.inflight[key]; ok {
+			s.stats.Joins++
+			s.mu.Unlock()
+			<-e.done
+			return e.val, Provenance{Outcome: Joined}, e.err
+		}
+	}
+	e := &entry{done: make(chan struct{})}
+	if cacheable {
+		s.inflight[key] = e
+	}
+	s.stats.Misses++
+	for s.busy >= s.workers {
+		s.cond.Wait()
+	}
+	s.busy++
+	queueWait := time.Since(start)
+	s.stats.QueueWait += queueWait
+	s.mu.Unlock()
+
+	simStart := time.Now()
+	e.val, e.err = fn()
+	simWall := time.Since(simStart)
+
+	s.mu.Lock()
+	s.busy--
+	s.stats.SimWall += simWall
+	if e.err != nil {
+		s.stats.Errors++
+	}
+	if cacheable {
+		delete(s.inflight, key)
+		if e.err == nil {
+			s.cache[key] = e
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(e.done)
+	return e.val, Provenance{Outcome: Miss, QueueWait: queueWait, SimWall: simWall}, e.err
+}
+
+// ForEach invokes fn(i) for every i in [0, n) on its own goroutine and
+// returns the lowest-index error, if any. It imposes no concurrency
+// bound of its own — callbacks submit their work through a scheduler,
+// whose pool is the bound. This is the experiments' fan-out primitive;
+// results land in caller-owned slices indexed by i, so output order is
+// deterministic regardless of completion order.
+func ForEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

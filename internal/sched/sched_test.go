@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestKeyOfDistinguishesParts(t *testing.T) {
+	type cfg struct {
+		A int
+		B bool
+	}
+	base := KeyOf("sim", "qsort", 0.25, cfg{A: 1})
+	cases := map[string]Key{
+		"kind":        KeyOf("oracle", "qsort", 0.25, cfg{A: 1}),
+		"kernel":      KeyOf("sim", "crc64", 0.25, cfg{A: 1}),
+		"scale":       KeyOf("sim", "qsort", 0.5, cfg{A: 1}),
+		"config":      KeyOf("sim", "qsort", 0.25, cfg{A: 2}),
+		"config bool": KeyOf("sim", "qsort", 0.25, cfg{A: 1, B: true}),
+		"extra part":  KeyOf("sim", "qsort", 0.25, cfg{A: 1}, 128),
+	}
+	for name, k := range cases {
+		if k == base {
+			t.Errorf("%s variation collides with the base key", name)
+		}
+	}
+	if again := KeyOf("sim", "qsort", 0.25, cfg{A: 1}); again != base {
+		t.Error("identical parts produced different keys")
+	}
+}
+
+func TestDoMissHitJoin(t *testing.T) {
+	s := New(4)
+	key := KeyOf("t", 1)
+	var execs atomic.Int64
+	run := func() (any, Provenance, error) {
+		return s.Do(key, true, func() (any, error) {
+			execs.Add(1)
+			time.Sleep(10 * time.Millisecond)
+			return 42, nil
+		})
+	}
+
+	v, prov, err := run()
+	if err != nil || v.(int) != 42 || prov.Outcome != Miss {
+		t.Fatalf("first call: v=%v prov=%+v err=%v", v, prov, err)
+	}
+	v, prov, err = run()
+	if err != nil || v.(int) != 42 || prov.Outcome != Hit {
+		t.Fatalf("second call: v=%v prov=%+v err=%v", v, prov, err)
+	}
+
+	// Concurrent requests for a fresh key share one execution.
+	key2 := KeyOf("t", 2)
+	var wg sync.WaitGroup
+	var joined atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, prov, err := s.Do(key2, true, func() (any, error) {
+				execs.Add(1)
+				time.Sleep(20 * time.Millisecond)
+				return "shared", nil
+			})
+			if err != nil || v.(string) != "shared" {
+				t.Errorf("join: v=%v err=%v", v, err)
+			}
+			if prov.Outcome == Joined {
+				joined.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 2 {
+		t.Errorf("executions = %d, want 2 (one per unique key)", got)
+	}
+	st := s.Stats()
+	if st.Joins != uint64(joined.Load()) || st.Joins == 0 {
+		t.Errorf("stats joins = %d, observed %d", st.Joins, joined.Load())
+	}
+	if st.Hits != 1 || st.Misses != 2 || st.Runs != 10 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses / 10 runs", st)
+	}
+	if st.CacheEntries != 2 {
+		t.Errorf("cache entries = %d, want 2", st.CacheEntries)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	s := New(2)
+	key := KeyOf("fails")
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, prov, err := s.Do(key, true, func() (any, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) || prov.Outcome != Miss {
+			t.Fatalf("call %d: prov=%+v err=%v", i, prov, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("failing function ran %d times, want 2 (errors must not be memoized)", calls)
+	}
+	if st := s.Stats(); st.Errors != 2 || st.CacheEntries != 0 {
+		t.Errorf("stats = %+v, want 2 errors and an empty cache", st)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	s := New(workers)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := s.Do(KeyOf("job", i), true, func() (any, error) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				cur.Add(-1)
+				return nil, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent simulations, pool bound is %d", p, workers)
+	}
+}
+
+func TestSetWorkersUnblocksWaiters(t *testing.T) {
+	s := New(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do(KeyOf("hold"), false, func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+
+	done := make(chan struct{})
+	go func() {
+		s.Do(KeyOf("waits"), false, func() (any, error) { return nil, nil })
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second job ran despite a full 1-worker pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.SetWorkers(2)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("growing the pool did not unblock the queued job")
+	}
+	close(release)
+	if got := s.Workers(); got != 2 {
+		t.Errorf("Workers() = %d, want 2", got)
+	}
+}
+
+func TestDisableMemo(t *testing.T) {
+	s := New(2)
+	s.DisableMemo()
+	key := KeyOf("same")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, prov, err := s.Do(key, true, func() (any, error) {
+			calls++
+			return i, nil
+		})
+		if err != nil || prov.Outcome != Miss {
+			t.Fatalf("call %d: prov=%+v err=%v", i, prov, err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("memo-disabled scheduler ran %d executions, want 3", calls)
+	}
+	if st := s.Stats(); st.Hits != 0 || st.Joins != 0 || st.CacheEntries != 0 {
+		t.Errorf("memo-disabled stats = %+v, want no hits/joins/cache", st)
+	}
+}
+
+func TestForEachOrderAndErrors(t *testing.T) {
+	out := make([]int, 8)
+	if err := ForEach(8, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+
+	first := errors.New("first")
+	err := ForEach(4, func(i int) error {
+		if i >= 2 {
+			return errors.New("later")
+		}
+		if i == 1 {
+			return first
+		}
+		return nil
+	})
+	if !errors.Is(err, first) {
+		t.Errorf("ForEach error = %v, want the lowest-index error", err)
+	}
+}
+
+func TestMetricsRegistryExposesCounters(t *testing.T) {
+	s := New(2)
+	key := KeyOf("m")
+	for i := 0; i < 3; i++ {
+		s.Do(key, true, func() (any, error) { return nil, nil })
+	}
+	names := s.Metrics().Names()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	snap := s.Metrics().Snapshot(nil)
+	want := map[string]float64{
+		"sched.runs":   3,
+		"sched.misses": 1,
+		"sched.hits":   2,
+	}
+	for name, v := range want {
+		i, ok := idx[name]
+		if !ok {
+			t.Fatalf("series %s not registered (have %v)", name, names)
+		}
+		if snap[i] != v {
+			t.Errorf("%s = %v, want %v", name, snap[i], v)
+		}
+	}
+	if i, ok := idx["sched.hit_rate"]; !ok || snap[i] < 0.6 || snap[i] > 0.7 {
+		t.Errorf("sched.hit_rate = %v, want 2/3", snap[idx["sched.hit_rate"]])
+	}
+}
+
+func TestGlobalIsSingleton(t *testing.T) {
+	if Global() != Global() {
+		t.Error("Global returned distinct schedulers")
+	}
+	if Global().Workers() < 1 {
+		t.Error("global scheduler has no workers")
+	}
+}
