@@ -336,11 +336,45 @@ type ExperimentOptions struct {
 // reuse earlier results. Rendered output is deterministic: it does not
 // depend on Parallel or on cache state.
 func RunExperiment(name string, opt ExperimentOptions) (string, error) {
+	rep, err := RunExperimentReport(name, opt)
+	return rep.Text, err
+}
+
+// ExperimentReport is one experiment's rendered output plus the
+// scheduler activity attributable to that experiment alone.
+type ExperimentReport struct {
+	Name string
+	Text string
+
+	// Sched counts the scheduler requests this experiment itself issued —
+	// not the process-wide totals, which interleave concurrent
+	// experiments. Workers and CacheEntries are pool-wide properties and
+	// stay zero here; read them from GlobalSchedulerStats.
+	Sched SchedulerStats
+}
+
+// RunExperimentReport is RunExperiment with per-experiment scheduler
+// attribution: how many of this experiment's simulations ran fresh,
+// were served from the memo cache, or joined an identical in-flight
+// run. The counts are exact even when experiments run concurrently.
+func RunExperimentReport(name string, opt ExperimentOptions) (ExperimentReport, error) {
 	r, err := experiments.Run(name, experiments.Options{Scale: opt.Scale, Parallel: opt.Parallel})
 	if err != nil {
-		return "", err
+		return ExperimentReport{}, err
 	}
-	return r.Render(), nil
+	return ExperimentReport{
+		Name: name,
+		Text: r.Render(),
+		Sched: SchedulerStats{
+			Runs:             r.Sched.Runs,
+			Misses:           r.Sched.Misses,
+			Hits:             r.Sched.Hits,
+			Joins:            r.Sched.Joins,
+			Errors:           r.Sched.Errors,
+			QueueWaitSeconds: r.Sched.QueueWait.Seconds(),
+			SimWallSeconds:   r.Sched.SimWall.Seconds(),
+		},
+	}, nil
 }
 
 // SchedulerStats snapshots the process-global simulation scheduler: how
@@ -354,6 +388,7 @@ type SchedulerStats struct {
 	Misses       uint64 // requests that simulated
 	Hits         uint64 // requests served from the cache
 	Joins        uint64 // requests that joined an in-flight run
+	Errors       uint64 // requests whose simulation failed
 
 	QueueWaitSeconds float64 // cumulative worker-slot wait
 	SimWallSeconds   float64 // cumulative simulation wall time
@@ -370,6 +405,7 @@ func GlobalSchedulerStats() SchedulerStats {
 		Misses:           st.Misses,
 		Hits:             st.Hits,
 		Joins:            st.Joins,
+		Errors:           st.Errors,
 		QueueWaitSeconds: st.QueueWait.Seconds(),
 		SimWallSeconds:   st.SimWall.Seconds(),
 	}

@@ -2,9 +2,10 @@
 // configurations — baseline (conventional register file), carf
 // (content-aware file), checked (full hardening layer), profiled
 // (CPI-stack + per-PC attribution) — and writes the results as JSON.
-// EXPERIMENTS.md documents the output schema ("carf-bench/v1"); CI runs
-// it on every push and uploads the artifact so throughput trajectories
-// can be compared across commits.
+// EXPERIMENTS.md documents the output schema ("carf-bench/v2", with an
+// environment provenance block so trajectories are comparable across
+// machines and toolchains); CI runs it on every push and uploads the
+// artifact so throughput trajectories can be compared across commits.
 //
 // With -study it additionally times the full experiment suite under
 // three scheduler configurations: serial (one experiment at a time,
@@ -18,6 +19,7 @@
 //	carfbench                        # all configs, histo at scale 0.5
 //	carfbench -kernel crc64 -iters 9
 //	carfbench -study -jobs 4         # add the full-study scheduler benchmark
+//	carfbench -study -telemetry 127.0.0.1:9090
 //	carfbench -out BENCH.json
 package main
 
@@ -25,8 +27,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"carf/internal/core"
@@ -35,18 +40,48 @@ import (
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
 	"carf/internal/sched"
+	"carf/internal/telemetry"
 	"carf/internal/vm"
 	"carf/internal/workload"
 )
 
-// report is the carf-bench/v1 document.
+// provenance records the environment a report was measured in, so
+// throughput numbers are compared like with like across commits,
+// machines, and toolchains.
+type provenance struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitDescribe is `git describe --tags --always --dirty`, best-effort:
+	// absent when the binary runs outside a checkout or without git.
+	GitDescribe string `json:"git_describe,omitempty"`
+}
+
+func collectProvenance() provenance {
+	p := provenance{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if out, err := exec.Command("git", "describe", "--tags", "--always", "--dirty").Output(); err == nil {
+		p.GitDescribe = strings.TrimSpace(string(out))
+	}
+	return p
+}
+
+// report is the carf-bench/v2 document (v2 moved go_version into the
+// provenance block).
 type report struct {
-	Schema    string         `json:"schema"`
-	Kernel    string         `json:"kernel"`
-	Scale     float64        `json:"scale"`
-	Iters     int            `json:"iters"`
-	GoVersion string         `json:"go_version"`
-	Configs   []configResult `json:"configs"`
+	Schema     string         `json:"schema"`
+	Kernel     string         `json:"kernel"`
+	Scale      float64        `json:"scale"`
+	Iters      int            `json:"iters"`
+	Provenance provenance     `json:"provenance"`
+	Configs    []configResult `json:"configs"`
 
 	// Study is present with -study: full-suite wall clock under the
 	// serial / scheduled-cold / scheduled-warm configurations.
@@ -205,10 +240,15 @@ func runSuiteOn(names []string, scale float64, jobs int, s *sched.Scheduler) (ti
 }
 
 // runStudy times the full experiment suite under the three scheduler
-// configurations and returns their results in order.
-func runStudy(scale float64, jobs int) ([]studyResult, error) {
+// configurations and returns their results in order. attach, when
+// non-nil, is called with each phase's scheduler before it runs so the
+// telemetry plane can follow the study across schedulers.
+func runStudy(scale float64, jobs int, attach func(*sched.Scheduler)) ([]studyResult, error) {
 	names := experiments.Names()
 	var out []studyResult
+	if attach == nil {
+		attach = func(*sched.Scheduler) {}
+	}
 
 	// Serial: the pre-scheduler behaviour — one experiment at a time,
 	// each on a fresh pool with memoization and deduplication off, so
@@ -217,6 +257,7 @@ func runStudy(scale float64, jobs int) ([]studyResult, error) {
 	for _, name := range names {
 		s := sched.New(0)
 		s.DisableMemo()
+		attach(s)
 		if _, err := runSuiteOn([]string{name}, scale, 1, s); err != nil {
 			return nil, fmt.Errorf("serial %s: %v", name, err)
 		}
@@ -230,6 +271,7 @@ func runStudy(scale float64, jobs int) ([]studyResult, error) {
 	// Scheduled, cold cache: one shared scheduler, concurrent
 	// experiments, every run memoized as it completes.
 	s := sched.New(0)
+	attach(s)
 	cold, err := runSuiteOn(names, scale, jobs, s)
 	if err != nil {
 		return nil, fmt.Errorf("scheduled-cold: %v", err)
@@ -265,9 +307,11 @@ func main() {
 		study      = flag.Bool("study", false, "also time the full experiment suite (serial vs scheduled)")
 		studyScale = flag.Float64("study-scale", 0.25, "workload scale for the -study suite")
 		jobs       = flag.Int("jobs", 4, "concurrent experiments in the -study scheduled configurations")
+		telAddr    = flag.String("telemetry", "", "serve live telemetry (/metrics, /runs, /events, /healthz) on this host:port; follows the -study phases across their schedulers")
 		out        = flag.String("out", "", "write JSON to this file instead of stdout")
 	)
 	flag.Parse()
+	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
 
 	k, err := workload.ByName(*kernel, *scale)
 	if err != nil {
@@ -275,12 +319,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With -telemetry the hub observes every study scheduler in turn
+	// (the server's /metrics scrapes whichever phase is active), and the
+	// /runs + /events views span the whole process.
+	var attach func(*sched.Scheduler)
+	if *telAddr != "" {
+		hub := telemetry.NewHub()
+		sv := telemetry.NewServer(hub, nil)
+		addr, err := sv.Start(*telAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carfbench:", err)
+			os.Exit(1)
+		}
+		defer sv.Close()
+		logger.Info("telemetry serving", "addr", addr,
+			"endpoints", "/metrics /runs /events /healthz")
+		attach = func(s *sched.Scheduler) {
+			s.SetObserver(hub)
+			sv.SetScheduler(s)
+		}
+	}
+
 	rep := report{
-		Schema:    "carf-bench/v1",
-		Kernel:    *kernel,
-		Scale:     *scale,
-		Iters:     *iters,
-		GoVersion: runtime.Version(),
+		Schema:     "carf-bench/v2",
+		Kernel:     *kernel,
+		Scale:      *scale,
+		Iters:      *iters,
+		Provenance: collectProvenance(),
 	}
 	for _, c := range configs() {
 		res, err := measure(c.name, k.Prog, c.run, *iters)
@@ -289,22 +354,26 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Configs = append(rep.Configs, res)
-		fmt.Fprintf(os.Stderr, "carfbench: %-8s %12.0f instr/s  %6.1f ns/instr  %.4f allocs/instr\n",
-			c.name, res.InstrPerSec, res.NsPerInstr, res.AllocsPerInst)
+		logger.Info("config measured", "config", c.name,
+			"instr_per_sec", fmt.Sprintf("%.0f", res.InstrPerSec),
+			"ns_per_instr", fmt.Sprintf("%.1f", res.NsPerInstr),
+			"allocs_per_instr", fmt.Sprintf("%.4f", res.AllocsPerInst))
 	}
 
 	if *study {
 		rep.StudyScale = *studyScale
 		rep.StudyJobs = *jobs
-		results, err := runStudy(*studyScale, *jobs)
+		results, err := runStudy(*studyScale, *jobs, attach)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "carfbench:", err)
 			os.Exit(1)
 		}
 		rep.Study = results
 		for _, r := range results {
-			fmt.Fprintf(os.Stderr, "carfbench: study %-15s %6.1fs  %.2fx vs serial  (%d run, %d cached, %d joined)\n",
-				r.Name, r.WallSeconds, r.SpeedupVsSerial, r.Sched.Misses, r.Sched.Hits, r.Sched.Joins)
+			logger.Info("study configuration timed", "study", r.Name,
+				"wall", fmt.Sprintf("%.1fs", r.WallSeconds),
+				"speedup_vs_serial", fmt.Sprintf("%.2fx", r.SpeedupVsSerial),
+				"simulated", r.Sched.Misses, "cached", r.Sched.Hits, "joined", r.Sched.Joins)
 		}
 	}
 

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -23,6 +24,8 @@ import (
 	"carf/internal/harden"
 	"carf/internal/metrics"
 	"carf/internal/pipeline"
+	"carf/internal/sched"
+	"carf/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +56,7 @@ func main() {
 		traceCap   = flag.Int("trace-cap", 20000, "retain at most N traced instructions (-1 = unbounded)")
 		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the simulator to this file")
 		memProfile = flag.String("memprofile", "", "write a Go heap profile of the simulator to this file")
+		telAddr    = flag.String("telemetry", "", "serve live telemetry (/metrics, /runs, /events, /healthz) on this host:port and route the run through the global scheduler")
 	)
 	flag.Parse()
 
@@ -124,7 +128,40 @@ func main() {
 		}
 	}
 
-	res, err := carf.Run(*kernel, cfg)
+	run := func() (carf.Result, error) { return carf.Run(*kernel, cfg) }
+	if *telAddr != "" {
+		// Route the run through the global scheduler so the telemetry
+		// plane observes it: /runs shows it in flight, /events streams
+		// its lifecycle, /metrics carries the latency histograms. The run
+		// is not memoized — a CLI invocation always simulates.
+		logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+		hub := telemetry.NewHub()
+		sched.Global().SetObserver(hub)
+		sv := telemetry.NewServer(hub, sched.Global())
+		addr, err := sv.Start(*telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer sv.Close()
+		logger.Info("telemetry serving", "addr", addr,
+			"endpoints", "/metrics /runs /events /healthz")
+		inner := run
+		run = func() (carf.Result, error) {
+			key := sched.KeyOf("carfsim", *kernel, cfg)
+			label := fmt.Sprintf("carfsim/%s/%s", *kernel, *org)
+			v, prov, err := sched.Global().Do(key, label, false, func() (any, error) {
+				return inner()
+			})
+			logArgs := append([]any{"kernel", *kernel, "org", *org}, telemetry.LogProvenance(prov)...)
+			if err != nil {
+				logger.Error("run failed", append(logArgs, "err", err)...)
+				return carf.Result{}, err
+			}
+			logger.Info("run complete", logArgs...)
+			return v.(carf.Result), nil
+		}
+	}
+	res, err := run()
 	if err != nil {
 		fatal(err)
 	}

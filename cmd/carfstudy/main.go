@@ -7,7 +7,17 @@
 // identical simulations are deduplicated, and completed runs are
 // memoized, so the full study reuses most of its work. Output streams
 // in experiment order regardless of completion order, and the rendered
-// results are byte-identical at any -jobs value.
+// results are byte-identical at any -jobs value — and with telemetry on
+// or off.
+//
+// With -telemetry the study serves its live observability plane over
+// HTTP while it runs: /metrics (Prometheus), /runs (live run table),
+// /events (SSE lifecycle stream), /healthz. With -trace-out it exports
+// the orchestration timeline — experiment spans, per-run queue waits,
+// simulation executions across the worker pool, cache hits and dedup
+// joins, all correlated by run key — as a Perfetto-loadable Chrome
+// trace. Progress and lifecycle lines go to stderr as structured slog
+// records; rendered study output (stdout/-out) is unaffected.
 //
 // Usage:
 //
@@ -15,35 +25,43 @@
 //	carfstudy -exp fig5,table2     # selected experiments
 //	carfstudy -jobs 4              # run up to 4 experiments concurrently
 //	carfstudy -scale 1.0           # full-size workloads (slower)
+//	carfstudy -telemetry 127.0.0.1:9090
+//	carfstudy -trace-out study-trace.json
 //	carfstudy -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"carf"
+	"carf/internal/sched"
+	"carf/internal/telemetry"
 )
 
 // result is one experiment's rendered output (or failure).
 type result struct {
-	text    string
+	rep     carf.ExperimentReport
 	err     error
 	elapsed time.Duration
 }
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
-		scale = flag.Float64("scale", 0.25, "workload scale factor")
-		jobs  = flag.Int("jobs", 1, "experiments to run concurrently (simulation parallelism is bounded by the shared scheduler pool)")
-		out   = flag.String("out", "", "write results to this file instead of stdout")
-		list  = flag.Bool("list", false, "list experiments, then exit")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
+		scale    = flag.Float64("scale", 0.25, "workload scale factor")
+		jobs     = flag.Int("jobs", 1, "experiments to run concurrently (simulation parallelism is bounded by the shared scheduler pool)")
+		out      = flag.String("out", "", "write results to this file instead of stdout")
+		telAddr  = flag.String("telemetry", "", "serve live telemetry (/metrics, /runs, /events, /healthz) on this host:port while the study runs")
+		traceOut = flag.String("trace-out", "", "write the orchestration timeline (Perfetto-loadable Chrome trace) to this file")
+		list     = flag.Bool("list", false, "list experiments, then exit")
 	)
 	flag.Parse()
+	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
 
 	if *list {
 		for _, name := range carf.Experiments() {
@@ -53,11 +71,32 @@ func main() {
 	}
 
 	if err := (carf.Config{Scale: *scale}).Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "carfstudy:", err)
+		logger.Error("invalid configuration", "err", err)
 		os.Exit(1)
 	}
 	if *jobs < 1 {
 		*jobs = 1
+	}
+
+	// The telemetry plane is passive: the hub observes the global
+	// scheduler and feeds the span tracer, the HTTP server, and the SSE
+	// stream, but rendered study output is byte-identical with or
+	// without it.
+	var hub *telemetry.Hub
+	if *telAddr != "" || *traceOut != "" {
+		hub = telemetry.NewHub()
+		sched.Global().SetObserver(hub)
+	}
+	if *telAddr != "" {
+		sv := telemetry.NewServer(hub, sched.Global())
+		addr, err := sv.Start(*telAddr)
+		if err != nil {
+			logger.Error("telemetry server failed", "err", err)
+			os.Exit(1)
+		}
+		defer sv.Close()
+		logger.Info("telemetry serving", "addr", addr,
+			"endpoints", "/metrics /runs /events /healthz")
 	}
 
 	names := carf.Experiments()
@@ -72,7 +111,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "carfstudy:", err)
+			logger.Error("cannot create output file", "path", *out, "err", err)
 			os.Exit(1)
 		}
 		w = f
@@ -92,30 +131,67 @@ func main() {
 		go func(name string, ch chan<- result) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			sp := hub.ExperimentStart(name)
+			logger.Info("experiment started", "exp", name)
 			t0 := time.Now()
-			text, err := carf.RunExperiment(name, carf.ExperimentOptions{Scale: *scale})
-			ch <- result{text: text, err: err, elapsed: time.Since(t0)}
+			rep, err := carf.RunExperimentReport(name, carf.ExperimentOptions{Scale: *scale})
+			elapsed := time.Since(t0)
+			hub.ExperimentEnd(name, sp, elapsed, err)
+			if err == nil {
+				logger.Info("experiment finished", "exp", name,
+					"elapsed", elapsed.Round(time.Millisecond),
+					"runs", rep.Sched.Runs, "simulated", rep.Sched.Misses,
+					"cached", rep.Sched.Hits, "joined", rep.Sched.Joins)
+			}
+			ch <- result{rep: rep, err: err, elapsed: elapsed}
 		}(name, done[i])
 	}
 
+	reports := make([]result, len(names))
 	for i, name := range names {
 		r := <-done[i]
 		if r.err != nil {
-			fmt.Fprintln(os.Stderr, "carfstudy:", r.err)
+			logger.Error("experiment failed", "exp", name, "err", r.err)
 			os.Exit(1)
 		}
+		reports[i] = r
 		fmt.Fprintf(w, "== %s: %s (%.1fs)\n\n%s\n", name, carf.DescribeExperiment(name),
-			r.elapsed.Seconds(), r.text)
+			r.elapsed.Seconds(), r.rep.Text)
 	}
 
 	st := carf.GlobalSchedulerStats()
 	fmt.Fprintf(w, "total: %d experiments in %.1fs (jobs %d; %d simulations: %d run, %d cached, %d joined)\n",
 		len(names), time.Since(start).Seconds(), *jobs, st.Runs, st.Misses, st.Hits, st.Joins)
+	fmt.Fprintf(w, "\nper-experiment scheduler activity:\n")
+	for i, name := range names {
+		s := reports[i].rep.Sched
+		fmt.Fprintf(w, "  %-9s %4d runs: %4d simulated, %4d cached, %4d joined  (queue %.2fs, sim %.2fs)\n",
+			name, s.Runs, s.Misses, s.Hits, s.Joins, s.QueueWaitSeconds, s.SimWallSeconds)
+	}
 
 	if *out != "" {
 		if err := w.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "carfstudy:", err)
+			logger.Error("cannot close output file", "path", *out, "err", err)
 			os.Exit(1)
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			logger.Error("cannot create trace file", "path", *traceOut, "err", err)
+			os.Exit(1)
+		}
+		if err := hub.Tracer().Write(f); err != nil {
+			f.Close()
+			logger.Error("trace export failed", "path", *traceOut, "err", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			logger.Error("cannot close trace file", "path", *traceOut, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("orchestration trace written", "path", *traceOut,
+			"spans", hub.Tracer().Len(), "viewer", "https://ui.perfetto.dev")
 	}
 }

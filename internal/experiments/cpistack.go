@@ -55,7 +55,7 @@ func CPIStackStudy(opt Options) (Result, error) {
 		name := cpiKernels[idx/len(orgs)]
 		org := orgs[idx%len(orgs)]
 		key := runKey("cpistack", opt, name, org.spec.id, cfg, "profiled")
-		v, _, err := opt.Sched.Do(key, true, func() (any, error) {
+		v, prov, err := opt.Sched.Do(key, runLabel("cpistack", name, org.spec.id), true, func() (any, error) {
 			k, err := workload.ByName(name, opt.Scale)
 			if err != nil {
 				return nil, err
@@ -70,6 +70,7 @@ func CPIStackStudy(opt Options) (Result, error) {
 			}
 			return prof.Stack, nil
 		})
+		opt.Tally.Record(prov, err)
 		if err != nil {
 			return err
 		}

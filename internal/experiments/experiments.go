@@ -34,6 +34,11 @@ type Options struct {
 	// (nil = the process-global sched.Global()). Tests and benchmarks
 	// use isolated schedulers to measure cold/warm/serial cache states.
 	Sched *sched.Scheduler
+	// Tally, when non-nil, accumulates this experiment's own scheduler
+	// provenance (runs/hits/misses/joins), attributing shared-pool work
+	// per experiment even when many run concurrently. Run installs one
+	// automatically and reports it in Result.Sched.
+	Tally *sched.Tally
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +61,13 @@ func (o Options) withDefaults() Options {
 type Result struct {
 	Name   string
 	Tables []stats.Table
+
+	// Sched is this experiment's own slice of scheduler activity: how
+	// many simulations it requested and how they were served (simulated
+	// / cache hit / joined an in-flight run). Unlike Scheduler.Stats,
+	// which is process-wide, this is attributable per experiment even
+	// under concurrent studies. Rendering does not include it.
+	Sched sched.Stats
 }
 
 // Render formats all tables.
@@ -115,11 +127,18 @@ func Describe(name string) string {
 	return ""
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id. Each call gets its own provenance
+// tally (unless the caller supplies one), reported in Result.Sched.
 func Run(name string, opt Options) (Result, error) {
 	for _, e := range registry {
 		if e.name == name {
-			return e.run(opt.withDefaults())
+			opt = opt.withDefaults()
+			if opt.Tally == nil {
+				opt.Tally = new(sched.Tally)
+			}
+			r, err := e.run(opt)
+			r.Sched = opt.Tally.Stats()
+			return r, err
 		}
 	}
 	return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
@@ -129,7 +148,7 @@ func Run(name string, opt Options) (Result, error) {
 func RunAll(opt Options) ([]Result, error) {
 	var out []Result
 	for _, e := range registry {
-		r, err := e.run(opt.withDefaults())
+		r, err := Run(e.name, opt)
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", e.name, err)
 		}
@@ -209,14 +228,23 @@ func runOne(k workload.Kernel, spec modelSpec, opt Options) (runOut, error) {
 	return runOneCfg(k, spec, pipeline.DefaultConfig(), opt)
 }
 
+// runLabel renders the human-readable run description carried to the
+// telemetry plane (span names, /runs rows, log lines). Labels are
+// display-only: the content Key remains the scheduling identity.
+func runLabel(kind, kernel, specID string) string {
+	return kind + "/" + kernel + "/" + specID
+}
+
 // runOneCfg is runOne with an explicit pipeline configuration
 // (ablations: bypass depth, widths). The run is submitted to the
 // scheduler: concurrency is bounded by the shared worker pool and the
 // result is memoized by (kernel, scale, model spec, config).
 func runOneCfg(k workload.Kernel, spec modelSpec, cfg pipeline.Config, opt Options) (runOut, error) {
-	v, _, err := opt.Sched.Do(runKey("sim", opt, k.Name, spec.id, cfg), true, func() (any, error) {
-		return simulate(k, spec, cfg, nil, 0)
-	})
+	v, prov, err := opt.Sched.Do(runKey("sim", opt, k.Name, spec.id, cfg),
+		runLabel("sim", k.Name, spec.id), true, func() (any, error) {
+			return simulate(k, spec, cfg, nil, 0)
+		})
+	opt.Tally.Record(prov, err)
 	if err != nil {
 		return runOut{}, err
 	}

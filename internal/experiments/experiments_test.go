@@ -515,3 +515,28 @@ func TestCalibrationRobustness(t *testing.T) {
 		}
 	}
 }
+
+func TestRunPopulatesSchedStats(t *testing.T) {
+	r, err := Run("fig6", testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.Runs == 0 {
+		t.Fatalf("Result.Sched not populated: %+v", r.Sched)
+	}
+	if got := r.Sched.Misses + r.Sched.Hits + r.Sched.Joins; got != r.Sched.Runs {
+		t.Errorf("outcome counts %d don't add up to runs %d", got, r.Sched.Runs)
+	}
+	// A second identical run is served from the memo cache: same number
+	// of requests, all of them hits or joins, none simulated fresh.
+	r2, err := Run("fig6", testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Sched.Runs != r.Sched.Runs {
+		t.Errorf("rerun issued %d requests, first run %d", r2.Sched.Runs, r.Sched.Runs)
+	}
+	if r2.Sched.Misses != 0 {
+		t.Errorf("rerun simulated %d fresh runs, want 0 (all cached)", r2.Sched.Misses)
+	}
+}

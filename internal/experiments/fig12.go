@@ -23,7 +23,7 @@ func oracleSuite(kernels []workload.Kernel, ds []int, opt Options) ([]*oracle.An
 	err := sched.ForEach(len(kernels), func(i int) error {
 		k := kernels[i]
 		key := runKey("oracle", opt, k.Name, "baseline", cfg, ds, opt.SamplePeriod)
-		v, _, err := opt.Sched.Do(key, true, func() (any, error) {
+		v, prov, err := opt.Sched.Do(key, runLabel("oracle", k.Name, "baseline"), true, func() (any, error) {
 			analyzers := make([]*oracle.Analyzer, len(ds))
 			local := make(oracle.Fanout, len(ds))
 			for j, d := range ds {
@@ -35,6 +35,7 @@ func oracleSuite(kernels []workload.Kernel, ds []int, opt Options) ([]*oracle.An
 			}
 			return analyzers, nil
 		})
+		opt.Tally.Record(prov, err)
 		if err != nil {
 			return err
 		}

@@ -40,7 +40,7 @@ func Phases(opt Options) (Result, error) {
 	err := sched.ForEach(len(kernels), func(i int) error {
 		k := kernels[i]
 		key := runKey("phases", opt, k.Name, spec.id, cfg, phasesInterval)
-		v, _, err := opt.Sched.Do(key, true, func() (any, error) {
+		v, prov, err := opt.Sched.Do(key, runLabel("phases", k.Name, spec.id), true, func() (any, error) {
 			cpu := pipeline.New(cfg, k.Prog, spec.new())
 			sampler := cpu.InstallMetrics(metrics.NewRegistry(), phasesInterval)
 			st, err := cpu.Run()
@@ -49,6 +49,7 @@ func Phases(opt Options) (Result, error) {
 			}
 			return out{kernel: k.Name, series: sampler.Series(), ipc: st.IPC()}, nil
 		})
+		opt.Tally.Record(prov, err)
 		if err != nil {
 			return err
 		}

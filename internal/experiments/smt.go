@@ -24,7 +24,8 @@ type smtOut struct {
 func runSMT(a, b workload.Kernel, p core.Params, pol pipeline.SMTPolicy, opt Options) (smtOut, error) {
 	cfg := pipeline.DefaultConfig()
 	key := runKey("smt", opt, a.Name+"+"+b.Name, fmt.Sprintf("carf%+v", p), cfg, pol)
-	v, _, err := opt.Sched.Do(key, true, func() (any, error) {
+	label := runLabel("smt", a.Name+"+"+b.Name, fmt.Sprintf("policy-%v", pol))
+	v, prov, err := opt.Sched.Do(key, label, true, func() (any, error) {
 		model := core.New(p)
 		smt := pipeline.NewSMT(cfg, [2]*vm.Program{a.Prog, b.Prog}, model)
 		smt.SetPolicy(pol)
@@ -39,6 +40,7 @@ func runSMT(a, b workload.Kernel, p core.Params, pol pipeline.SMTPolicy, opt Opt
 		}
 		return smtOut{sts: sts, avgLiveLong: model.Stats().AvgLiveLong()}, nil
 	})
+	opt.Tally.Record(prov, err)
 	if err != nil {
 		return smtOut{}, err
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Counter is a monotonically increasing count. The zero value is ready
@@ -91,6 +92,75 @@ func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
 	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
 }
 
+// SyncHistogram is a Histogram whose Observe is safe for concurrent
+// use. It exists for series fed from many goroutines at once — the
+// simulation scheduler's per-run latencies — where the plain Histogram's
+// lock-free hot path would race. Snapshot and Read lock it too, so a
+// registry holding only SyncHistograms and self-synchronizing gauge
+// funcs may be read while its owners are still updating.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Observe records one observation.
+func (h *SyncHistogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *SyncHistogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *SyncHistogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.sum
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *SyncHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Mean()
+}
+
+// Buckets returns copies of the bucket upper bounds and counts; the
+// final count is the overflow bucket.
+func (h *SyncHistogram) Buckets() (bounds []float64, counts []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Buckets()
+}
+
+// read returns a consistent (bounds, counts, count, sum) snapshot under
+// one lock acquisition.
+func (h *SyncHistogram) read() ([]float64, []uint64, uint64, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds, counts := h.h.Buckets()
+	return bounds, counts, h.h.count, h.h.sum
+}
+
+// intervalMean advances interval state and returns the mean of the
+// observations recorded since the previous call (0 if none).
+func (h *SyncHistogram) intervalMean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var v float64
+	if dc := h.h.count - h.h.prevCount; dc > 0 {
+		v = (h.h.sum - h.h.prevSum) / float64(dc)
+	}
+	h.h.prevCount, h.h.prevSum = h.h.count, h.h.sum
+	return v
+}
+
 // kind discriminates the instrument union inside the registry.
 type kind uint8
 
@@ -99,6 +169,7 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
+	kindSyncHistogram
 	kindRatioRate
 )
 
@@ -111,6 +182,7 @@ type instrument struct {
 	gauge   *Gauge
 	fn      func() float64
 	hist    *Histogram
+	shist   *SyncHistogram
 
 	// RatioRate state: interval delta(num)/delta(den).
 	num, den         func() float64
@@ -179,6 +251,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// SyncHistogram registers a fixed-bucket histogram whose Observe is
+// safe for concurrent use (see the type). Its series value is the
+// per-interval mean of new observations, like Histogram's.
+func (r *Registry) SyncHistogram(name string, bounds []float64) *SyncHistogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bound", name))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+	}
+	h := &SyncHistogram{h: Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}}
+	r.add(&instrument{name: name, kind: kindSyncHistogram, shist: h})
+	return h
+}
+
 // RatioRate registers a derived series sampled as
 // delta(num)/delta(den) over each interval (0 when den did not move) —
 // interval IPC, miss rates, bypass rates, prediction accuracy.
@@ -219,6 +309,8 @@ func (r *Registry) Snapshot(out []float64) []float64 {
 				v = (h.sum - h.prevSum) / float64(dc)
 			}
 			h.prevCount, h.prevSum = h.count, h.sum
+		case kindSyncHistogram:
+			v = in.shist.intervalMean()
 		case kindRatioRate:
 			num, den := in.num(), in.den()
 			if in.ratePrimed {
@@ -235,6 +327,78 @@ func (r *Registry) Snapshot(out []float64) []float64 {
 			v = 0
 		}
 		out = append(out, v)
+	}
+	return out
+}
+
+// ReadingKind classifies an instrument in a Reading: counters and
+// gauges carry one cumulative Value, histograms carry their buckets.
+type ReadingKind uint8
+
+const (
+	ReadCounter ReadingKind = iota
+	ReadGauge
+	ReadHistogram
+)
+
+// Reading is one instrument's cumulative state at read time. Unlike
+// Snapshot values (which are per-interval deltas for histograms and
+// rates), readings are whole-life totals — the shape Prometheus
+// exposition wants.
+type Reading struct {
+	Name string
+	Kind ReadingKind
+
+	// Value is the cumulative count (counters), current value (gauges
+	// and gauge funcs), or cumulative ratio num/den (ratio rates; 0 when
+	// den is 0).
+	Value float64
+
+	// Histograms only: bucket upper bounds, per-bucket counts (one
+	// trailing overflow bucket), total count, and sum of observations.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Read returns one cumulative Reading per instrument in registration
+// order. It never advances interval state, so it may be called freely
+// alongside a Sampler. It is as concurrency-safe as the instruments
+// themselves: self-synchronizing gauge funcs and SyncHistograms may be
+// read live, plain counters/gauges/histograms only once their owner is
+// quiescent.
+func (r *Registry) Read() []Reading {
+	out := make([]Reading, 0, len(r.instruments))
+	for _, in := range r.instruments {
+		rd := Reading{Name: in.name}
+		switch in.kind {
+		case kindCounter:
+			rd.Kind = ReadCounter
+			rd.Value = float64(in.counter.v)
+		case kindGauge:
+			rd.Kind = ReadGauge
+			rd.Value = in.gauge.v
+		case kindGaugeFunc:
+			rd.Kind = ReadGauge
+			rd.Value = in.fn()
+		case kindHistogram:
+			rd.Kind = ReadHistogram
+			rd.Bounds, rd.Counts = in.hist.Buckets()
+			rd.Count, rd.Sum = in.hist.count, in.hist.sum
+		case kindSyncHistogram:
+			rd.Kind = ReadHistogram
+			rd.Bounds, rd.Counts, rd.Count, rd.Sum = in.shist.read()
+		case kindRatioRate:
+			rd.Kind = ReadGauge
+			if den := in.den(); den != 0 {
+				rd.Value = in.num() / den
+			}
+		}
+		if math.IsNaN(rd.Value) || math.IsInf(rd.Value, 0) {
+			rd.Value = 0
+		}
+		out = append(out, rd)
 	}
 	return out
 }

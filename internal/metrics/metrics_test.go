@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -199,6 +200,107 @@ func TestFormatForPath(t *testing.T) {
 	for _, path := range []string{"metrics.txt", "metrics", "m.jsonl.gz", "archive.csv.bak"} {
 		if _, err := FormatForPath(path); err == nil {
 			t.Errorf("FormatForPath(%q) accepted an unknown extension", path)
+		}
+	}
+}
+
+func TestSyncHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.SyncHistogram("lat", []float64{1, 10})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Observe(float64(g%3) * 5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Errorf("count = %d, want 800", h.Count())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || len(counts) != 3 {
+		t.Fatalf("buckets = %v / %v", bounds, counts)
+	}
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 800 {
+		t.Errorf("bucket counts sum to %d, want 800", sum)
+	}
+	// The registry series value is the per-interval mean, like Histogram.
+	snap := r.Snapshot(nil)
+	if want := h.Sum() / 800; snap[0] != want {
+		t.Errorf("first snapshot = %v, want mean %v", snap[0], want)
+	}
+	if snap := r.Snapshot(nil); snap[0] != 0 {
+		t.Errorf("quiet interval mean = %v, want 0", snap[0])
+	}
+}
+
+func TestRegistryRead(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("commits")
+	g := r.Gauge("occupancy")
+	r.GaugeFunc("fn", func() float64 { return 7 })
+	h := r.Histogram("lat", []float64{1, 10})
+	var num, den float64
+	r.RatioRate("ipc", func() float64 { return num }, func() float64 { return den })
+
+	c.Add(3)
+	g.Set(2.5)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	num, den = 30, 10
+
+	// Interleave a Snapshot to prove Read does not perturb (and is not
+	// perturbed by) interval state.
+	r.Snapshot(nil)
+	h.Observe(5)
+
+	reads := r.Read()
+	want := map[string]struct {
+		kind  ReadingKind
+		value float64
+	}{
+		"commits":   {ReadCounter, 3},
+		"occupancy": {ReadGauge, 2.5},
+		"fn":        {ReadGauge, 7},
+		"ipc":       {ReadGauge, 3},
+	}
+	byName := map[string]Reading{}
+	for _, rd := range reads {
+		byName[rd.Name] = rd
+	}
+	for name, w := range want {
+		rd, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing reading %s", name)
+		}
+		if rd.Kind != w.kind || rd.Value != w.value {
+			t.Errorf("%s = kind %d value %v, want kind %d value %v", name, rd.Kind, rd.Value, w.kind, w.value)
+		}
+	}
+	hr := byName["lat"]
+	if hr.Kind != ReadHistogram || hr.Count != 4 || hr.Sum != 110.5 {
+		t.Errorf("histogram reading = %+v, want count 4 sum 110.5", hr)
+	}
+	if len(hr.Bounds) != 2 || len(hr.Counts) != 3 {
+		t.Fatalf("histogram reading buckets = %v / %v", hr.Bounds, hr.Counts)
+	}
+	if hr.Counts[0] != 1 || hr.Counts[1] != 2 || hr.Counts[2] != 1 {
+		t.Errorf("histogram reading counts = %v", hr.Counts)
+	}
+	// Cumulative readings must be identical on a second call.
+	again := r.Read()
+	for i := range again {
+		if again[i].Name == "lat" && again[i].Count != 4 {
+			t.Errorf("second read count = %d", again[i].Count)
 		}
 	}
 }

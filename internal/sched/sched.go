@@ -26,9 +26,11 @@ package sched
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"carf/internal/metrics"
@@ -39,6 +41,11 @@ import (
 // results (the simulator is deterministic, so a key covering every
 // result-affecting input is sufficient).
 type Key [sha256.Size]byte
+
+// Short returns the first 8 hex digits of the key — the correlation id
+// used in telemetry output (span attributes, /runs rows, log fields).
+// Short ids are for humans; full keys stay the cache identity.
+func (k Key) Short() string { return hex.EncodeToString(k[:4]) }
 
 // KeyOf digests the given parts into a Key. Parts are rendered with
 // %#v, which spells out field names and values of nested structs, so
@@ -83,9 +90,11 @@ func (o Outcome) String() string {
 
 // Provenance describes how one Do call was served. QueueWait and
 // SimWall are nonzero only for misses (the call that actually ran the
-// simulation).
+// simulation). Key is the request's content digest — the correlation id
+// that ties this run to its telemetry spans, /runs row, and log lines.
 type Provenance struct {
 	Outcome   Outcome
+	Key       Key           // content digest of the request (correlation id)
 	QueueWait time.Duration // Do entry until a worker slot was acquired
 	SimWall   time.Duration // wall time inside the simulation function
 }
@@ -118,6 +127,71 @@ func (st Stats) Delta(prev Stats) Stats {
 	return st
 }
 
+// Observer receives run lifecycle callbacks from a scheduler: every Do
+// call announces itself once on entry (RunEnqueued), misses additionally
+// report worker-slot acquisition (RunStarted), and every call reports
+// its outcome on exit (RunFinished). Callbacks run on the requesting
+// goroutine, outside the scheduler lock, so an observer may call Stats
+// or Metrics — but must return quickly and must not call Do. The id is
+// unique per scheduler and strictly increasing in enqueue order; for one
+// id the callbacks are ordered (enqueued happens-before started
+// happens-before finished), while callbacks for different ids interleave
+// arbitrarily. The telemetry hub is the canonical implementation.
+type Observer interface {
+	RunEnqueued(id uint64, key Key, label string)
+	RunStarted(id uint64)
+	RunFinished(id uint64, p Provenance, err error)
+}
+
+// Tally accumulates per-caller provenance counts: a harness that wants
+// to know how *its* requests were served — while sharing a scheduler
+// with everyone else — records each Do's Provenance into its own Tally.
+// All methods are safe for concurrent use; a nil *Tally ignores Record,
+// so threading one through is optional at every level.
+type Tally struct {
+	runs, hits, misses, joins, errs atomic.Uint64
+	queueWaitNs, simWallNs          atomic.Int64
+}
+
+// Record counts one served request.
+func (t *Tally) Record(p Provenance, err error) {
+	if t == nil {
+		return
+	}
+	t.runs.Add(1)
+	switch p.Outcome {
+	case Hit:
+		t.hits.Add(1)
+	case Joined:
+		t.joins.Add(1)
+	case Miss:
+		t.misses.Add(1)
+		t.queueWaitNs.Add(int64(p.QueueWait))
+		t.simWallNs.Add(int64(p.SimWall))
+	}
+	if err != nil {
+		t.errs.Add(1)
+	}
+}
+
+// Stats snapshots the tally in the Stats shape (Workers and
+// CacheEntries are zero: a tally sees one caller's slice of the
+// scheduler, not the pool).
+func (t *Tally) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{
+		Runs:      t.runs.Load(),
+		Misses:    t.misses.Load(),
+		Hits:      t.hits.Load(),
+		Joins:     t.joins.Load(),
+		Errors:    t.errs.Load(),
+		QueueWait: time.Duration(t.queueWaitNs.Load()),
+		SimWall:   time.Duration(t.simWallNs.Load()),
+	}
+}
+
 // entry is one execution: in flight until done is closed, then an
 // immutable (val, err) pair.
 type entry struct {
@@ -141,8 +215,22 @@ type Scheduler struct {
 	inflight map[Key]*entry
 
 	stats Stats
+	seq   uint64 // next run id handed to the observer
 
-	reg *metrics.Registry
+	obs Observer // nil when no telemetry is attached
+
+	reg       *metrics.Registry
+	queueHist *metrics.SyncHistogram // per-miss queue wait, seconds
+	simHist   *metrics.SyncHistogram // per-miss simulation wall, seconds
+}
+
+// latencyBounds are the queue-wait/sim-wall histogram bucket upper
+// bounds in seconds: sub-millisecond dispatch up through multi-second
+// full-scale simulations, so /metrics exposes tail latency rather than
+// only the cumulative totals the gauges carry.
+var latencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
 // New returns a scheduler bounding concurrent simulations to workers
@@ -177,7 +265,18 @@ func New(workers int) *Scheduler {
 		}
 		return float64(st.Hits+st.Joins) / float64(st.Runs)
 	}))
+	s.queueHist = s.reg.SyncHistogram("sched.queue_wait_seconds", latencyBounds)
+	s.simHist = s.reg.SyncHistogram("sched.sim_wall_seconds", latencyBounds)
 	return s
+}
+
+// SetObserver attaches (or, with nil, detaches) a run lifecycle
+// observer. Attach before submitting work: runs already in flight do
+// not retroactively announce themselves.
+func (s *Scheduler) SetObserver(o Observer) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
 }
 
 var (
@@ -233,34 +332,57 @@ func (s *Scheduler) Stats() Stats {
 }
 
 // Metrics returns the scheduler's registry (sched.runs, sched.hits,
-// sched.misses, sched.joins, sched.queue_wait_ms, ...) for interval
-// sampling and export alongside the simulator's other series.
+// sched.misses, sched.joins, sched.queue_wait_ms, the per-run
+// sched.queue_wait_seconds / sched.sim_wall_seconds histograms, ...)
+// for interval sampling and export alongside the simulator's other
+// series. Every instrument in it is safe to read while runs are in
+// flight — the gauges snapshot under the scheduler lock and the
+// histograms are SyncHistograms — so Read (Prometheus exposition) may
+// be called from a serving goroutine at any time; Snapshot advances
+// interval state and should keep a single driver.
 func (s *Scheduler) Metrics() *metrics.Registry { return s.reg }
 
 // Do runs fn through the worker pool, deduplicating and memoizing by
 // key when cacheable is true. The returned value is shared by every
 // caller with the same key and must be treated as immutable. Errors
 // propagate to all joined callers but are never cached — a later
-// request with the same key retries.
+// request with the same key retries. label is a short human-readable
+// description ("sim/qsort/baseline") carried to the observer and shown
+// in telemetry; it has no effect on scheduling or caching.
 //
 // fn must not call Do on the same scheduler (a saturated pool of
 // parent runs waiting on child runs would deadlock).
-func (s *Scheduler) Do(key Key, cacheable bool, fn func() (any, error)) (any, Provenance, error) {
+func (s *Scheduler) Do(key Key, label string, cacheable bool, fn func() (any, error)) (any, Provenance, error) {
 	start := time.Now()
 	s.mu.Lock()
 	s.stats.Runs++
+	s.seq++
+	id := s.seq
+	obs := s.obs
 	cacheable = cacheable && s.memo
 	if cacheable {
 		if e, ok := s.cache[key]; ok {
 			s.stats.Hits++
 			s.mu.Unlock()
-			return e.val, Provenance{Outcome: Hit}, nil
+			p := Provenance{Outcome: Hit, Key: key}
+			if obs != nil {
+				obs.RunEnqueued(id, key, label)
+				obs.RunFinished(id, p, nil)
+			}
+			return e.val, p, nil
 		}
 		if e, ok := s.inflight[key]; ok {
 			s.stats.Joins++
 			s.mu.Unlock()
+			if obs != nil {
+				obs.RunEnqueued(id, key, label)
+			}
 			<-e.done
-			return e.val, Provenance{Outcome: Joined}, e.err
+			p := Provenance{Outcome: Joined, Key: key}
+			if obs != nil {
+				obs.RunFinished(id, p, e.err)
+			}
+			return e.val, p, e.err
 		}
 	}
 	e := &entry{done: make(chan struct{})}
@@ -268,6 +390,14 @@ func (s *Scheduler) Do(key Key, cacheable bool, fn func() (any, error)) (any, Pr
 		s.inflight[key] = e
 	}
 	s.stats.Misses++
+	if obs != nil {
+		// Announce before blocking on a slot so telemetry sees the run
+		// queued, not just running. The in-flight entry is already
+		// registered, so dedup keeps working while the lock is dropped.
+		s.mu.Unlock()
+		obs.RunEnqueued(id, key, label)
+		s.mu.Lock()
+	}
 	for s.busy >= s.workers {
 		s.cond.Wait()
 	}
@@ -275,10 +405,15 @@ func (s *Scheduler) Do(key Key, cacheable bool, fn func() (any, error)) (any, Pr
 	queueWait := time.Since(start)
 	s.stats.QueueWait += queueWait
 	s.mu.Unlock()
+	s.queueHist.Observe(queueWait.Seconds())
+	if obs != nil {
+		obs.RunStarted(id)
+	}
 
 	simStart := time.Now()
 	e.val, e.err = fn()
 	simWall := time.Since(simStart)
+	s.simHist.Observe(simWall.Seconds())
 
 	s.mu.Lock()
 	s.busy--
@@ -295,7 +430,11 @@ func (s *Scheduler) Do(key Key, cacheable bool, fn func() (any, error)) (any, Pr
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	close(e.done)
-	return e.val, Provenance{Outcome: Miss, QueueWait: queueWait, SimWall: simWall}, e.err
+	p := Provenance{Outcome: Miss, Key: key, QueueWait: queueWait, SimWall: simWall}
+	if obs != nil {
+		obs.RunFinished(id, p, e.err)
+	}
+	return e.val, p, e.err
 }
 
 // ForEach invokes fn(i) for every i in [0, n) on its own goroutine and

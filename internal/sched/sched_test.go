@@ -2,10 +2,13 @@ package sched
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"carf/internal/metrics"
 )
 
 func TestKeyOfDistinguishesParts(t *testing.T) {
@@ -37,7 +40,7 @@ func TestDoMissHitJoin(t *testing.T) {
 	key := KeyOf("t", 1)
 	var execs atomic.Int64
 	run := func() (any, Provenance, error) {
-		return s.Do(key, true, func() (any, error) {
+		return s.Do(key, "", true, func() (any, error) {
 			execs.Add(1)
 			time.Sleep(10 * time.Millisecond)
 			return 42, nil
@@ -61,7 +64,7 @@ func TestDoMissHitJoin(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, prov, err := s.Do(key2, true, func() (any, error) {
+			v, prov, err := s.Do(key2, "", true, func() (any, error) {
 				execs.Add(1)
 				time.Sleep(20 * time.Millisecond)
 				return "shared", nil
@@ -96,7 +99,7 @@ func TestErrorsAreNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	calls := 0
 	for i := 0; i < 2; i++ {
-		_, prov, err := s.Do(key, true, func() (any, error) {
+		_, prov, err := s.Do(key, "", true, func() (any, error) {
 			calls++
 			return nil, boom
 		})
@@ -121,7 +124,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, err := s.Do(KeyOf("job", i), true, func() (any, error) {
+			_, _, err := s.Do(KeyOf("job", i), "", true, func() (any, error) {
 				n := cur.Add(1)
 				for {
 					p := peak.Load()
@@ -148,7 +151,7 @@ func TestSetWorkersUnblocksWaiters(t *testing.T) {
 	s := New(1)
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go s.Do(KeyOf("hold"), false, func() (any, error) {
+	go s.Do(KeyOf("hold"), "", false, func() (any, error) {
 		close(started)
 		<-release
 		return nil, nil
@@ -157,7 +160,7 @@ func TestSetWorkersUnblocksWaiters(t *testing.T) {
 
 	done := make(chan struct{})
 	go func() {
-		s.Do(KeyOf("waits"), false, func() (any, error) { return nil, nil })
+		s.Do(KeyOf("waits"), "", false, func() (any, error) { return nil, nil })
 		close(done)
 	}()
 	select {
@@ -183,7 +186,7 @@ func TestDisableMemo(t *testing.T) {
 	key := KeyOf("same")
 	calls := 0
 	for i := 0; i < 3; i++ {
-		_, prov, err := s.Do(key, true, func() (any, error) {
+		_, prov, err := s.Do(key, "", true, func() (any, error) {
 			calls++
 			return i, nil
 		})
@@ -232,7 +235,7 @@ func TestMetricsRegistryExposesCounters(t *testing.T) {
 	s := New(2)
 	key := KeyOf("m")
 	for i := 0; i < 3; i++ {
-		s.Do(key, true, func() (any, error) { return nil, nil })
+		s.Do(key, "", true, func() (any, error) { return nil, nil })
 	}
 	names := s.Metrics().Names()
 	idx := map[string]int{}
@@ -265,5 +268,174 @@ func TestGlobalIsSingleton(t *testing.T) {
 	}
 	if Global().Workers() < 1 {
 		t.Error("global scheduler has no workers")
+	}
+}
+
+// recObserver records lifecycle callbacks for assertions.
+type recObserver struct {
+	mu       sync.Mutex
+	enqueued []string // "id:label"
+	started  []uint64
+	finished map[uint64]Provenance
+}
+
+func newRecObserver() *recObserver {
+	return &recObserver{finished: map[uint64]Provenance{}}
+}
+
+func (o *recObserver) RunEnqueued(id uint64, key Key, label string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.enqueued = append(o.enqueued, fmt.Sprintf("%d:%s", id, label))
+}
+
+func (o *recObserver) RunStarted(id uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.started = append(o.started, id)
+}
+
+func (o *recObserver) RunFinished(id uint64, p Provenance, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.finished[id] = p
+}
+
+func TestObserverLifecycle(t *testing.T) {
+	s := New(2)
+	obs := newRecObserver()
+	s.SetObserver(obs)
+	key := KeyOf("obs", 1)
+
+	_, p1, err := s.Do(key, "sim/a/base", true, func() (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := s.Do(key, "sim/a/base", true, func() (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Outcome != Miss || p2.Outcome != Hit {
+		t.Fatalf("outcomes = %v, %v", p1.Outcome, p2.Outcome)
+	}
+	if p1.Key != key || p2.Key != key {
+		t.Error("Provenance.Key not threaded through")
+	}
+	if key.Short() == "" || key.Short() != p1.Key.Short() {
+		t.Errorf("Short() = %q", key.Short())
+	}
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.enqueued) != 2 || obs.enqueued[0] != "1:sim/a/base" || obs.enqueued[1] != "2:sim/a/base" {
+		t.Errorf("enqueued = %v", obs.enqueued)
+	}
+	if len(obs.started) != 1 || obs.started[0] != 1 {
+		t.Errorf("started = %v, want only the miss", obs.started)
+	}
+	if len(obs.finished) != 2 {
+		t.Fatalf("finished = %v", obs.finished)
+	}
+	if obs.finished[1].Outcome != Miss || obs.finished[2].Outcome != Hit {
+		t.Errorf("finished outcomes = %v / %v", obs.finished[1].Outcome, obs.finished[2].Outcome)
+	}
+	if obs.finished[1].SimWall < 0 {
+		t.Error("miss finished without sim wall")
+	}
+}
+
+func TestObserverSeesJoins(t *testing.T) {
+	s := New(4)
+	obs := newRecObserver()
+	s.SetObserver(obs)
+	key := KeyOf("obs-join")
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(key, "join-me", true, func() (any, error) {
+				time.Sleep(20 * time.Millisecond)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	var miss, joined, hit int
+	for _, p := range obs.finished {
+		switch p.Outcome {
+		case Miss:
+			miss++
+		case Joined:
+			joined++
+		case Hit:
+			hit++
+		}
+	}
+	if miss != 1 || miss+joined+hit != 6 {
+		t.Errorf("finished outcomes: %d miss / %d joined / %d hit, want 1 miss of 6", miss, joined, hit)
+	}
+	if len(obs.enqueued) != 6 {
+		t.Errorf("enqueued %d, want 6", len(obs.enqueued))
+	}
+}
+
+func TestLatencyHistograms(t *testing.T) {
+	s := New(2)
+	key := KeyOf("hist")
+	for i := 0; i < 3; i++ {
+		s.Do(key, "", true, func() (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		})
+	}
+	var qw, sw metrics.Reading
+	for _, rd := range s.Metrics().Read() {
+		switch rd.Name {
+		case "sched.queue_wait_seconds":
+			qw = rd
+		case "sched.sim_wall_seconds":
+			sw = rd
+		}
+	}
+	if qw.Kind != metrics.ReadHistogram || sw.Kind != metrics.ReadHistogram {
+		t.Fatal("latency histograms not registered")
+	}
+	// Only the single miss observes; hits bypass the worker pool.
+	if qw.Count != 1 || sw.Count != 1 {
+		t.Errorf("histogram counts = %d / %d, want 1 / 1 (misses only)", qw.Count, sw.Count)
+	}
+	if sw.Sum < 0.001 {
+		t.Errorf("sim wall sum = %v, want >= 1ms", sw.Sum)
+	}
+}
+
+func TestTally(t *testing.T) {
+	s := New(4)
+	var tl Tally
+	key := KeyOf("tally")
+	for i := 0; i < 3; i++ {
+		_, p, err := s.Do(key, "", true, func() (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		})
+		tl.Record(p, err)
+	}
+	_, p, err := s.Do(KeyOf("tally-err"), "", true, func() (any, error) { return nil, errors.New("boom") })
+	tl.Record(p, err)
+
+	st := tl.Stats()
+	if st.Runs != 4 || st.Misses != 2 || st.Hits != 2 || st.Errors != 1 {
+		t.Errorf("tally stats = %+v, want 4 runs / 2 misses / 2 hits / 1 error", st)
+	}
+	if st.SimWall < time.Millisecond {
+		t.Errorf("tally sim wall = %v", st.SimWall)
+	}
+	var nilTally *Tally
+	nilTally.Record(p, nil) // must not panic
+	if nilTally.Stats() != (Stats{}) {
+		t.Error("nil tally stats not zero")
 	}
 }

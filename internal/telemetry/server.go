@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"carf/internal/metrics"
+	"carf/internal/sched"
+)
+
+// Server is the embedded telemetry HTTP server CLIs start behind the
+// -telemetry flag. Endpoints:
+//
+//	/metrics  Prometheus text exposition: the attached scheduler's
+//	          registry (run/hit/join counters, queue-wait and sim-wall
+//	          histograms) plus hub and process meta-series.
+//	/healthz  liveness: {"status":"ok",...}.
+//	/runs     live JSON table of in-flight and completed runs with
+//	          hit/miss/joined provenance.
+//	/events   SSE stream of run and experiment lifecycle events.
+//	/         endpoint index.
+//
+// The scheduler reference is swappable (carfbench rotates through
+// study schedulers); the hub is fixed at construction.
+type Server struct {
+	hub   *Hub
+	sch   atomic.Pointer[sched.Scheduler]
+	start time.Time
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer returns a server over hub, scraping s for /metrics (s may
+// be nil and set later with SetScheduler).
+func NewServer(hub *Hub, s *sched.Scheduler) *Server {
+	sv := &Server{hub: hub, start: time.Now()}
+	if s != nil {
+		sv.sch.Store(s)
+	}
+	return sv
+}
+
+// SetScheduler swaps the scheduler whose registry /metrics exposes and
+// whose Stats back the /runs summary.
+func (sv *Server) SetScheduler(s *sched.Scheduler) { sv.sch.Store(s) }
+
+// Handler returns the telemetry mux (exported for httptest).
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", sv.index)
+	mux.HandleFunc("/metrics", sv.metrics)
+	mux.HandleFunc("/healthz", sv.healthz)
+	mux.HandleFunc("/runs", sv.runs)
+	mux.HandleFunc("/events", sv.eventsSSE)
+	return mux
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// in a background goroutine. It returns the bound address.
+func (sv *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	sv.ln = ln
+	sv.srv = &http.Server{Handler: sv.Handler()}
+	go sv.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and any in-flight handlers (SSE streams end
+// when their clients disconnect or the process exits).
+func (sv *Server) Close() error {
+	if sv.srv != nil {
+		return sv.srv.Close()
+	}
+	return nil
+}
+
+func (sv *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "carf telemetry\n\n/metrics  Prometheus text exposition\n/healthz  liveness\n/runs     live run table (JSON)\n/events   run lifecycle stream (SSE)\n")
+}
+
+func (sv *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(sv.start).Seconds(),
+	})
+}
+
+func (sv *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s := sv.sch.Load(); s != nil {
+		if err := WritePrometheus(w, "carf", s.Metrics().Read()); err != nil {
+			return
+		}
+	}
+	inflight, completedTotal, events, dropped, subs := sv.hub.counts()
+	meta := []metrics.Reading{
+		{Name: "telemetry.runs_inflight", Kind: metrics.ReadGauge, Value: float64(inflight)},
+		{Name: "telemetry.runs_completed_total", Kind: metrics.ReadCounter, Value: float64(completedTotal)},
+		{Name: "telemetry.events_published_total", Kind: metrics.ReadCounter, Value: float64(events)},
+		{Name: "telemetry.events_dropped_total", Kind: metrics.ReadCounter, Value: float64(dropped)},
+		{Name: "telemetry.sse_subscribers", Kind: metrics.ReadGauge, Value: float64(subs)},
+		{Name: "telemetry.uptime_seconds", Kind: metrics.ReadGauge, Value: time.Since(sv.start).Seconds()},
+		{Name: "go.goroutines", Kind: metrics.ReadGauge, Value: float64(runtime.NumGoroutine())},
+	}
+	WritePrometheus(w, "carf", meta) //nolint:errcheck // best-effort tail
+}
+
+// runsResponse is the /runs document.
+type runsResponse struct {
+	NowMs          float64     `json:"now_ms"`
+	InFlight       []RunRecord `json:"in_flight"`
+	Completed      []RunRecord `json:"completed"`
+	CompletedTotal uint64      `json:"completed_total"`
+	Sched          *schedStats `json:"sched,omitempty"`
+}
+
+// schedStats is the scheduler summary embedded in /runs.
+type schedStats struct {
+	Workers          int     `json:"workers"`
+	CacheEntries     int     `json:"cache_entries"`
+	Runs             uint64  `json:"runs"`
+	Misses           uint64  `json:"misses"`
+	Hits             uint64  `json:"hits"`
+	Joins            uint64  `json:"joins"`
+	Errors           uint64  `json:"errors"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	SimWallSeconds   float64 `json:"sim_wall_seconds"`
+}
+
+func (sv *Server) runs(w http.ResponseWriter, _ *http.Request) {
+	inflight, completed, total := sv.hub.Runs()
+	resp := runsResponse{
+		NowMs:          sv.hub.nowMs(),
+		InFlight:       inflight,
+		Completed:      completed,
+		CompletedTotal: total,
+	}
+	if s := sv.sch.Load(); s != nil {
+		st := s.Stats()
+		resp.Sched = &schedStats{
+			Workers:          st.Workers,
+			CacheEntries:     st.CacheEntries,
+			Runs:             st.Runs,
+			Misses:           st.Misses,
+			Hits:             st.Hits,
+			Joins:            st.Joins,
+			Errors:           st.Errors,
+			QueueWaitSeconds: st.QueueWait.Seconds(),
+			SimWallSeconds:   st.SimWall.Seconds(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp) //nolint:errcheck // client went away
+}
+
+// eventsSSE streams hub events as server-sent events until the client
+// disconnects. Each message is one `data:` line holding an Event JSON
+// object; a hello event opens the stream so clients can sync clocks.
+func (sv *Server) eventsSSE(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	hello, _ := json.Marshal(Event{Type: "hello", TMs: sv.hub.nowMs()})
+	fmt.Fprintf(w, "data: %s\n\n", hello)
+	fl.Flush()
+
+	ch, cancel := sv.hub.Subscribe()
+	defer cancel()
+	// Heartbeat comments keep idle connections from timing out.
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		case payload := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+			fl.Flush()
+		}
+	}
+}

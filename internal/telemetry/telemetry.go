@@ -1,0 +1,333 @@
+// Package telemetry is the simulator's live observability plane: where
+// the metrics package watches one simulation from the inside (interval
+// samples of pipeline counters), telemetry watches the orchestration
+// layer from above — every experiment and every scheduler run, while
+// they are in flight.
+//
+// Two halves compose:
+//
+//   - A span tracer (Tracer/Span) building an orchestration-level
+//     timeline: one slice per experiment, per queued request, and per
+//     executing simulation, with run-key correlation ids and parent
+//     links, exported in Chrome trace format for ui.perfetto.dev.
+//   - An embedded HTTP server (Server) over a Hub that observes the
+//     simulation scheduler: /metrics in Prometheus text exposition
+//     format, /healthz, /runs as a live JSON table of in-flight and
+//     completed runs with hit/miss/joined provenance, and /events
+//     streaming run lifecycle events over SSE.
+//
+// The Hub implements sched.Observer; attach it with
+// Scheduler.SetObserver and every Do call appears in all four views,
+// correlated by the run key's short id. Everything here is passive:
+// rendered experiment output is byte-identical with telemetry on or
+// off.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"carf/internal/sched"
+)
+
+// completedCap bounds the completed-run table served by /runs; older
+// rows fall off (completed_total keeps the true count).
+const completedCap = 512
+
+// RunRecord is one scheduler run's row in the /runs table. Times are
+// milliseconds since the hub started; zero-valued times mean the run
+// has not reached that state.
+type RunRecord struct {
+	ID      uint64 `json:"id"`
+	Key     string `json:"key"` // short correlation id (Key.Short)
+	Label   string `json:"label"`
+	State   string `json:"state"` // queued, running, done
+	Outcome string `json:"outcome,omitempty"`
+
+	EnqueuedMs float64 `json:"enqueued_ms"`
+	StartedMs  float64 `json:"started_ms,omitempty"`
+	FinishedMs float64 `json:"finished_ms,omitempty"`
+
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	SimWallMs   float64 `json:"sim_wall_ms,omitempty"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// Event is one SSE message on /events: run and experiment lifecycle
+// transitions as they happen.
+type Event struct {
+	Type  string  `json:"type"` // run-start, run-finish, experiment-start, experiment-finish
+	TMs   float64 `json:"t_ms"` // milliseconds since the hub started
+	ID    uint64  `json:"id,omitempty"`
+	Label string  `json:"label,omitempty"`
+	Key   string  `json:"key,omitempty"`
+
+	// run-finish / experiment-finish only.
+	Outcome     string  `json:"outcome,omitempty"`
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	SimWallMs   float64 `json:"sim_wall_ms,omitempty"`
+	ElapsedMs   float64 `json:"elapsed_ms,omitempty"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// runState is the hub's in-flight bookkeeping for one scheduler run.
+type runState struct {
+	rec  RunRecord
+	span *Span // request-side span (queue-wait / hit / joined)
+	work *Span // worker-side sim span (misses only)
+}
+
+// Hub is the live telemetry nexus: it implements sched.Observer,
+// maintains the /runs table, feeds the span tracer, and broadcasts SSE
+// events. All methods are safe for concurrent use. Construct with
+// NewHub, attach with Scheduler.SetObserver, serve with NewServer.
+type Hub struct {
+	tracer *Tracer
+	t0     time.Time
+
+	mu             sync.Mutex
+	inflight       map[uint64]*runState
+	completed      []RunRecord // ring, newest appended; bounded by completedCap
+	completedTotal uint64
+	subs           map[chan []byte]struct{}
+	dropped        uint64 // SSE messages dropped on slow subscribers
+	events         uint64 // SSE messages published
+}
+
+// NewHub returns a hub tracing into a fresh Tracer.
+func NewHub() *Hub {
+	return &Hub{
+		tracer:   NewTracer(),
+		t0:       time.Now(),
+		inflight: map[uint64]*runState{},
+		subs:     map[chan []byte]struct{}{},
+	}
+}
+
+// Tracer returns the hub's orchestration tracer (write its trace out
+// with Tracer.Write once the study finishes). A nil hub returns a nil
+// (inert) tracer.
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tracer
+}
+
+func (h *Hub) sinceMs(t time.Time) float64 {
+	return float64(t.Sub(h.t0)) / float64(time.Millisecond)
+}
+
+func (h *Hub) nowMs() float64 { return h.sinceMs(time.Now()) }
+
+// RunEnqueued implements sched.Observer: a Do call entered the
+// scheduler. The request-side span opens here; its final category
+// (queue-wait, hit, joined) is decided when the run resolves.
+func (h *Hub) RunEnqueued(id uint64, key sched.Key, label string) {
+	sp := h.tracer.StartSpan(TrackRequests, "queue-wait", label).
+		Attr("key", key.Short()).Attr("run", id)
+	h.mu.Lock()
+	h.inflight[id] = &runState{
+		rec: RunRecord{
+			ID:         id,
+			Key:        key.Short(),
+			Label:      label,
+			State:      "queued",
+			EnqueuedMs: h.nowMs(),
+		},
+		span: sp,
+	}
+	h.mu.Unlock()
+	h.publish(Event{Type: "run-start", TMs: h.nowMs(), ID: id, Label: label, Key: key.Short()})
+}
+
+// RunStarted implements sched.Observer: a miss acquired a worker slot.
+// The queue-wait slice ends and the sim slice opens on a worker lane,
+// parent-linked to the request span.
+func (h *Hub) RunStarted(id uint64) {
+	h.mu.Lock()
+	st := h.inflight[id]
+	if st == nil {
+		h.mu.Unlock()
+		return
+	}
+	st.rec.State = "running"
+	st.rec.StartedMs = h.nowMs()
+	reqSpan := st.span
+	h.mu.Unlock()
+
+	reqSpan.End()
+	work := h.tracer.StartSpan(TrackWorkers, "sim", st.rec.Label).
+		Attr("key", st.rec.Key).Attr("run", id)
+	work.SetParent(reqSpan.ID())
+	h.mu.Lock()
+	st.span = nil
+	st.work = work
+	h.mu.Unlock()
+}
+
+// RunFinished implements sched.Observer: the run resolved (simulated,
+// cache hit, or joined an in-flight execution).
+func (h *Hub) RunFinished(id uint64, p sched.Provenance, err error) {
+	h.mu.Lock()
+	st := h.inflight[id]
+	if st == nil {
+		h.mu.Unlock()
+		return
+	}
+	delete(h.inflight, id)
+	st.rec.State = "done"
+	st.rec.Outcome = p.Outcome.String()
+	st.rec.FinishedMs = h.nowMs()
+	st.rec.QueueWaitMs = float64(p.QueueWait) / float64(time.Millisecond)
+	st.rec.SimWallMs = float64(p.SimWall) / float64(time.Millisecond)
+	if err != nil {
+		st.rec.Err = err.Error()
+	}
+	h.completed = append(h.completed, st.rec)
+	if len(h.completed) > completedCap {
+		h.completed = h.completed[len(h.completed)-completedCap:]
+	}
+	h.completedTotal++
+	span, work := st.span, st.work
+	h.mu.Unlock()
+
+	if work != nil {
+		// Miss: the sim slice closes; the queue-wait slice closed at start.
+		work.Attr("outcome", p.Outcome.String()).End()
+	}
+	if span != nil {
+		// Hit or joined (or a miss that never reached RunStarted): the
+		// request-side slice closes under its resolved category.
+		span.SetCategory(p.Outcome.String())
+		span.Attr("outcome", p.Outcome.String()).End()
+	}
+	h.publish(Event{
+		Type: "run-finish", TMs: h.nowMs(), ID: id,
+		Label: st.rec.Label, Key: st.rec.Key, Outcome: st.rec.Outcome,
+		QueueWaitMs: st.rec.QueueWaitMs, SimWallMs: st.rec.SimWallMs,
+		Err: st.rec.Err,
+	})
+}
+
+// ExperimentStart opens an experiment span and announces it on /events.
+// End the returned span (via ExperimentEnd) when the experiment's
+// rendering completes. Both methods are no-ops on a nil hub, so CLIs
+// instrument unconditionally and pay nothing with telemetry off.
+func (h *Hub) ExperimentStart(name string) *Span {
+	if h == nil {
+		return nil
+	}
+	h.publish(Event{Type: "experiment-start", TMs: h.nowMs(), Label: name})
+	return h.tracer.StartSpan(TrackExperiments, "experiment", name)
+}
+
+// ExperimentEnd closes an experiment span with its outcome.
+func (h *Hub) ExperimentEnd(name string, sp *Span, elapsed time.Duration, err error) {
+	if h == nil {
+		return
+	}
+	ev := Event{
+		Type: "experiment-finish", TMs: h.nowMs(), Label: name,
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+	h.publish(ev)
+}
+
+// Runs snapshots the /runs tables: in-flight runs in id order, then
+// completed runs oldest-first (bounded; total is the unbounded count).
+func (h *Hub) Runs() (inflight, completed []RunRecord, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	inflight = make([]RunRecord, 0, len(h.inflight))
+	for _, st := range h.inflight {
+		inflight = append(inflight, st.rec)
+	}
+	// Insertion sort by id: the in-flight set is small (≤ pool + queued).
+	for i := 1; i < len(inflight); i++ {
+		for j := i; j > 0 && inflight[j].ID < inflight[j-1].ID; j-- {
+			inflight[j], inflight[j-1] = inflight[j-1], inflight[j]
+		}
+	}
+	return inflight, append([]RunRecord(nil), h.completed...), h.completedTotal
+}
+
+// Subscribe registers an SSE subscriber: a channel of pre-marshalled
+// event payloads. Slow subscribers drop messages (counted) rather than
+// blocking the simulation. Call the returned cancel to unsubscribe.
+func (h *Hub) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 256)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+// publish fans one event out to every subscriber without blocking.
+func (h *Hub) publish(ev Event) {
+	h.mu.Lock()
+	if len(h.subs) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		h.mu.Unlock()
+		return
+	}
+	h.events++
+	for ch := range h.subs {
+		select {
+		case ch <- payload:
+		default:
+			h.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// counts reports the hub's own meta-metrics for /metrics.
+func (h *Hub) counts() (inflight int, completedTotal, events, dropped uint64, subscribers int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.inflight), h.completedTotal, h.events, h.dropped, len(h.subs)
+}
+
+// NewLogger returns the telemetry plane's structured logger: slog text
+// lines to w with millisecond timestamps. CLIs use it for progress and
+// lifecycle lines (stderr), keeping rendered study output (stdout)
+// byte-identical; run-key correlation ids travel in the "key" field.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				a.Value = slog.StringValue(a.Value.Time().Format("15:04:05.000"))
+			}
+			return a
+		},
+	}))
+}
+
+// LogProvenance renders a Provenance as slog fields, correlated by the
+// run key's short id.
+func LogProvenance(p sched.Provenance) []any {
+	return []any{
+		"key", p.Key.Short(),
+		"outcome", p.Outcome.String(),
+		"queue_wait", p.QueueWait.Round(time.Microsecond).String(),
+		"sim_wall", p.SimWall.Round(time.Microsecond).String(),
+	}
+}

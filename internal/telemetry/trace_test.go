@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"carf/internal/metrics"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+
+	exp := tr.StartSpan(TrackExperiments, "experiment", "fig12")
+	req := tr.StartSpan(TrackRequests, "queue-wait", "sim/gcd/carf").
+		Attr("key", "deadbeef").Attr("run", uint64(1))
+	work := tr.StartSpan(TrackWorkers, "sim", "sim/gcd/carf")
+	work.SetParent(req.ID())
+	req.End()
+	work.End()
+	exp.End()
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	events := tr.Events()
+	// Three metadata events (all three tracks used) + three slices.
+	var meta, slices []metrics.ChromeEvent
+	for _, ev := range events {
+		if ev.Ph == "M" {
+			meta = append(meta, ev)
+		} else {
+			slices = append(slices, ev)
+		}
+	}
+	if len(meta) != 3 || len(slices) != 3 {
+		t.Fatalf("got %d metadata + %d slices, want 3 + 3", len(meta), len(slices))
+	}
+	names := map[int]string{}
+	for _, m := range meta {
+		names[m.Pid] = m.Args["name"].(string)
+	}
+	if names[int(TrackExperiments)] != "experiments" ||
+		names[int(TrackRequests)] != "scheduler requests" ||
+		names[int(TrackWorkers)] != "scheduler workers" {
+		t.Errorf("track names wrong: %v", names)
+	}
+
+	bySlice := map[string]metrics.ChromeEvent{}
+	for _, s := range slices {
+		if s.Ph != "X" {
+			t.Errorf("slice %q has phase %q, want X", s.Name, s.Ph)
+		}
+		bySlice[s.Cat] = s
+	}
+	qw, ok := bySlice["queue-wait"]
+	if !ok {
+		t.Fatalf("no queue-wait slice in %v", slices)
+	}
+	if qw.Args["key"] != "deadbeef" {
+		t.Errorf("queue-wait key attr = %v", qw.Args["key"])
+	}
+	sim, ok := bySlice["sim"]
+	if !ok {
+		t.Fatalf("no sim slice")
+	}
+	if sim.Pid != int(TrackWorkers) {
+		t.Errorf("sim slice on pid %d, want %d", sim.Pid, int(TrackWorkers))
+	}
+	// The parent link correlates the worker slice to the request slice.
+	if sim.Args["parent"] != qw.Args["span"] {
+		t.Errorf("sim parent %v != queue-wait span %v", sim.Args["parent"], qw.Args["span"])
+	}
+}
+
+func TestTracerLaneReuse(t *testing.T) {
+	tr := NewTracer()
+	a := tr.StartSpan(TrackWorkers, "sim", "a")
+	b := tr.StartSpan(TrackWorkers, "sim", "b")
+	if a.lane == b.lane {
+		t.Fatalf("concurrent spans share lane %d", a.lane)
+	}
+	aLane := a.lane
+	a.End()
+	// The freed lane is the lowest free one, so the next span reuses it.
+	c := tr.StartSpan(TrackWorkers, "sim", "c")
+	if c.lane != aLane {
+		t.Errorf("lane not reused: got %d, want %d", c.lane, aLane)
+	}
+	b.End()
+	c.End()
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan(TrackWorkers, "sim", "x")
+	if sp != nil {
+		t.Fatalf("nil tracer returned non-nil span")
+	}
+	// All span methods must be no-ops on nil.
+	sp.Attr("k", "v").SetParent(7)
+	sp.SetCategory("hit")
+	sp.End()
+	if sp.ID() != 0 {
+		t.Errorf("nil span ID = %d", sp.ID())
+	}
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Errorf("nil tracer accumulated events")
+	}
+}
+
+func TestTracerWriteValidJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan(TrackExperiments, "experiment", "smt").End()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 2 { // metadata + slice
+		t.Errorf("traceEvents = %d, want 2", len(doc.TraceEvents))
+	}
+}
