@@ -17,6 +17,7 @@
 package carf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -214,6 +215,14 @@ func Kernels() []string { return workload.Names() }
 
 // Run simulates one kernel under cfg.
 func Run(kernel string, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), kernel, cfg)
+}
+
+// RunCtx is Run with cancellation: the simulation polls ctx
+// periodically and aborts with ctx's error once it is canceled or past
+// its deadline. The partial run's statistics are discarded — a
+// canceled simulation never produces a Result.
+func RunCtx(ctx context.Context, kernel string, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -257,6 +266,9 @@ func Run(kernel string, cfg Config) (Result, error) {
 	var prof *profile.Profiler
 	if cfg.Profile {
 		prof = cpu.InstallProfiler()
+	}
+	if ctx.Done() != nil {
+		cpu.SetInterrupt(ctx.Err)
 	}
 	st, err := cpu.Run()
 	if err != nil {
@@ -317,6 +329,11 @@ func DescribeExperiment(name string) string { return experiments.Describe(name) 
 
 // ExperimentOptions tunes an experiment run.
 type ExperimentOptions struct {
+	// Ctx cancels the experiment: queued simulations abort before
+	// starting, running ones stop cooperatively, and the experiment
+	// returns ctx's error. nil means context.Background().
+	Ctx context.Context
+
 	// Scale multiplies benchmark work (default 0.25 — experiments run
 	// many simulations).
 	Scale float64
@@ -358,7 +375,7 @@ type ExperimentReport struct {
 // were served from the memo cache, or joined an identical in-flight
 // run. The counts are exact even when experiments run concurrently.
 func RunExperimentReport(name string, opt ExperimentOptions) (ExperimentReport, error) {
-	r, err := experiments.Run(name, experiments.Options{Scale: opt.Scale, Parallel: opt.Parallel})
+	r, err := experiments.Run(name, experiments.Options{Ctx: opt.Ctx, Scale: opt.Scale, Parallel: opt.Parallel})
 	if err != nil {
 		return ExperimentReport{}, err
 	}
@@ -369,7 +386,9 @@ func RunExperimentReport(name string, opt ExperimentOptions) (ExperimentReport, 
 			Runs:             r.Sched.Runs,
 			Misses:           r.Sched.Misses,
 			Hits:             r.Sched.Hits,
+			DiskHits:         r.Sched.DiskHits,
 			Joins:            r.Sched.Joins,
+			Canceled:         r.Sched.Canceled,
 			Errors:           r.Sched.Errors,
 			QueueWaitSeconds: r.Sched.QueueWait.Seconds(),
 			SimWallSeconds:   r.Sched.SimWall.Seconds(),
@@ -383,11 +402,13 @@ func RunExperimentReport(name string, opt ExperimentOptions) (ExperimentReport, 
 // identical in-flight run (Joins).
 type SchedulerStats struct {
 	Workers      int    // worker-pool bound
-	CacheEntries int    // completed runs held in the cache
+	CacheEntries int    // completed runs held in the in-memory cache
 	Runs         uint64 // total requests
 	Misses       uint64 // requests that simulated
-	Hits         uint64 // requests served from the cache
+	Hits         uint64 // requests served from the in-memory cache
+	DiskHits     uint64 // requests served from the persistent tier
 	Joins        uint64 // requests that joined an in-flight run
+	Canceled     uint64 // requests abandoned by their context
 	Errors       uint64 // requests whose simulation failed
 
 	QueueWaitSeconds float64 // cumulative worker-slot wait
@@ -404,7 +425,9 @@ func GlobalSchedulerStats() SchedulerStats {
 		Runs:             st.Runs,
 		Misses:           st.Misses,
 		Hits:             st.Hits,
+		DiskHits:         st.DiskHits,
 		Joins:            st.Joins,
+		Canceled:         st.Canceled,
 		Errors:           st.Errors,
 		QueueWaitSeconds: st.QueueWait.Seconds(),
 		SimWallSeconds:   st.SimWall.Seconds(),

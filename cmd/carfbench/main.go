@@ -24,14 +24,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/exec"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"carf/internal/core"
@@ -125,22 +128,29 @@ type configResult struct {
 // runner builds and runs one simulation, returning committed instructions.
 type runner func(prog *vm.Program) (uint64, error)
 
-func configs() []struct {
+func configs(ctx context.Context) []struct {
 	name string
 	run  runner
 } {
 	checkedCfg := pipeline.DefaultConfig()
 	checkedCfg.Harden = harden.Options{Lockstep: true, SweepEvery: 4096, WatchdogAfter: 50000}
+	// interruptible wires cooperative cancellation into a CPU before it
+	// runs, so SIGINT/SIGTERM stops a measurement mid-simulation instead
+	// of waiting out the kernel.
+	interruptible := func(cpu *pipeline.CPU) *pipeline.CPU {
+		cpu.SetInterrupt(ctx.Err)
+		return cpu
+	}
 	return []struct {
 		name string
 		run  runner
 	}{
 		{"baseline", func(prog *vm.Program) (uint64, error) {
-			st, err := pipeline.New(pipeline.DefaultConfig(), prog, regfile.Baseline()).Run()
+			st, err := interruptible(pipeline.New(pipeline.DefaultConfig(), prog, regfile.Baseline())).Run()
 			return st.Instructions, err
 		}},
 		{"carf", func(prog *vm.Program) (uint64, error) {
-			st, err := pipeline.New(pipeline.DefaultConfig(), prog, core.New(core.DefaultParams())).Run()
+			st, err := interruptible(pipeline.New(pipeline.DefaultConfig(), prog, core.New(core.DefaultParams()))).Run()
 			return st.Instructions, err
 		}},
 		{"checked", func(prog *vm.Program) (uint64, error) {
@@ -148,13 +158,13 @@ func configs() []struct {
 			if err != nil {
 				return 0, err
 			}
-			st, err := cpu.Run()
+			st, err := interruptible(cpu).Run()
 			return st.Instructions, err
 		}},
 		{"profiled", func(prog *vm.Program) (uint64, error) {
 			cpu := pipeline.New(pipeline.DefaultConfig(), prog, regfile.Baseline())
 			cpu.InstallProfiler()
-			st, err := cpu.Run()
+			st, err := interruptible(cpu).Run()
 			return st.Instructions, err
 		}},
 	}
@@ -211,7 +221,7 @@ func counters(st sched.Stats) schedCounters {
 // runSuiteOn runs every experiment at the given scale on scheduler s,
 // at most jobs at a time, and returns the wall clock. Rendered output is
 // produced and discarded — rendering is part of what the study times.
-func runSuiteOn(names []string, scale float64, jobs int, s *sched.Scheduler) (time.Duration, error) {
+func runSuiteOn(ctx context.Context, names []string, scale float64, jobs int, s *sched.Scheduler) (time.Duration, error) {
 	start := time.Now()
 	sem := make(chan struct{}, jobs)
 	errs := make([]error, len(names))
@@ -220,7 +230,7 @@ func runSuiteOn(names []string, scale float64, jobs int, s *sched.Scheduler) (ti
 		go func(i int, name string) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := experiments.Run(name, experiments.Options{Scale: scale, Sched: s})
+			r, err := experiments.Run(name, experiments.Options{Ctx: ctx, Scale: scale, Sched: s})
 			if err == nil {
 				_ = r.Render()
 			}
@@ -243,7 +253,7 @@ func runSuiteOn(names []string, scale float64, jobs int, s *sched.Scheduler) (ti
 // configurations and returns their results in order. attach, when
 // non-nil, is called with each phase's scheduler before it runs so the
 // telemetry plane can follow the study across schedulers.
-func runStudy(scale float64, jobs int, attach func(*sched.Scheduler)) ([]studyResult, error) {
+func runStudy(ctx context.Context, scale float64, jobs int, attach func(*sched.Scheduler)) ([]studyResult, error) {
 	names := experiments.Names()
 	var out []studyResult
 	if attach == nil {
@@ -258,7 +268,7 @@ func runStudy(scale float64, jobs int, attach func(*sched.Scheduler)) ([]studyRe
 		s := sched.New(0)
 		s.DisableMemo()
 		attach(s)
-		if _, err := runSuiteOn([]string{name}, scale, 1, s); err != nil {
+		if _, err := runSuiteOn(ctx, []string{name}, scale, 1, s); err != nil {
 			return nil, fmt.Errorf("serial %s: %v", name, err)
 		}
 	}
@@ -272,7 +282,7 @@ func runStudy(scale float64, jobs int, attach func(*sched.Scheduler)) ([]studyRe
 	// experiments, every run memoized as it completes.
 	s := sched.New(0)
 	attach(s)
-	cold, err := runSuiteOn(names, scale, jobs, s)
+	cold, err := runSuiteOn(ctx, names, scale, jobs, s)
 	if err != nil {
 		return nil, fmt.Errorf("scheduled-cold: %v", err)
 	}
@@ -286,7 +296,7 @@ func runStudy(scale float64, jobs int, attach func(*sched.Scheduler)) ([]studyRe
 
 	// Scheduled, warm cache: the same scheduler again — every
 	// simulation should now be a cache hit.
-	warm, err := runSuiteOn(names, scale, jobs, s)
+	warm, err := runSuiteOn(ctx, names, scale, jobs, s)
 	if err != nil {
 		return nil, fmt.Errorf("scheduled-warm: %v", err)
 	}
@@ -312,6 +322,12 @@ func main() {
 	)
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+
+	// SIGINT/SIGTERM cancel in-flight simulations cooperatively; the
+	// interrupted exit path still writes whatever was measured so far to
+	// -out (valid JSON, just fewer blocks) instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	k, err := workload.ByName(*kernel, *scale)
 	if err != nil {
@@ -347,9 +363,14 @@ func main() {
 		Iters:      *iters,
 		Provenance: collectProvenance(),
 	}
-	for _, c := range configs() {
+	for _, c := range configs(ctx) {
 		res, err := measure(c.name, k.Prog, c.run, *iters)
 		if err != nil {
+			if ctx.Err() != nil {
+				logger.Error("interrupted, flushing partial report", "config", c.name)
+				writeReport(rep, *out)
+				os.Exit(1)
+			}
 			fmt.Fprintln(os.Stderr, "carfbench:", err)
 			os.Exit(1)
 		}
@@ -363,8 +384,13 @@ func main() {
 	if *study {
 		rep.StudyScale = *studyScale
 		rep.StudyJobs = *jobs
-		results, err := runStudy(*studyScale, *jobs, attach)
+		results, err := runStudy(ctx, *studyScale, *jobs, attach)
 		if err != nil {
+			if ctx.Err() != nil {
+				logger.Error("interrupted, flushing partial report")
+				writeReport(rep, *out)
+				os.Exit(1)
+			}
 			fmt.Fprintln(os.Stderr, "carfbench:", err)
 			os.Exit(1)
 		}
@@ -377,17 +403,23 @@ func main() {
 		}
 	}
 
+	writeReport(rep, *out)
+}
+
+// writeReport marshals rep to out (stdout when empty). It exits the
+// process on failure, so interrupted paths can call it last.
+func writeReport(rep report, out string) {
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carfbench:", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "carfbench:", err)
 		os.Exit(1)
 	}

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"carf"
 	"carf/internal/experiments"
@@ -60,6 +63,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the simulation cooperatively (the pipeline
+	// polls the context between cycles); the exit path below still stops
+	// and flushes an active CPU profile instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *list {
 		fmt.Println("kernels:")
 		for _, k := range carf.Kernels() {
@@ -81,16 +90,24 @@ func main() {
 		return
 	}
 
+	// stopProf flushes and closes an active -cpuprofile; it is safe to
+	// call more than once, so error paths can invoke it before os.Exit
+	// (which skips the deferred call).
+	stopProf := func() {}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fatal(err)
 		}
-		defer pprof.StopCPUProfile()
+		stopProf = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProf()
 	}
 
 	cfg := carf.Config{
@@ -128,7 +145,7 @@ func main() {
 		}
 	}
 
-	run := func() (carf.Result, error) { return carf.Run(*kernel, cfg) }
+	run := func() (carf.Result, error) { return carf.RunCtx(ctx, *kernel, cfg) }
 	if *telAddr != "" {
 		// Route the run through the global scheduler so the telemetry
 		// plane observes it: /runs shows it in flight, /events streams
@@ -149,7 +166,7 @@ func main() {
 		run = func() (carf.Result, error) {
 			key := sched.KeyOf("carfsim", *kernel, cfg)
 			label := fmt.Sprintf("carfsim/%s/%s", *kernel, *org)
-			v, prov, err := sched.Global().Do(key, label, false, func() (any, error) {
+			v, prov, err := sched.Global().DoCtx(ctx, key, label, false, func() (any, error) {
 				return inner()
 			})
 			logArgs := append([]any{"kernel", *kernel, "org", *org}, telemetry.LogProvenance(prov)...)
@@ -163,6 +180,11 @@ func main() {
 	}
 	res, err := run()
 	if err != nil {
+		stopProf()
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "carfsim: interrupted:", err)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 

@@ -31,15 +31,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"carf"
+	"carf/internal/experiments"
 	"carf/internal/sched"
+	"carf/internal/store"
 	"carf/internal/telemetry"
 )
 
@@ -58,10 +64,17 @@ func main() {
 		out      = flag.String("out", "", "write results to this file instead of stdout")
 		telAddr  = flag.String("telemetry", "", "serve live telemetry (/metrics, /runs, /events, /healthz) on this host:port while the study runs")
 		traceOut = flag.String("trace-out", "", "write the orchestration timeline (Perfetto-loadable Chrome trace) to this file")
+		storeDir = flag.String("store", "", "persistent result store directory: completed runs are written as checksummed blobs and reused across invocations")
 		list     = flag.Bool("list", false, "list experiments, then exit")
 	)
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+
+	// SIGINT/SIGTERM cancel in-flight scheduler work cooperatively; the
+	// shutdown path below still flushes -out/-trace-out and closes the
+	// telemetry server instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *list {
 		for _, name := range carf.Experiments() {
@@ -76,6 +89,18 @@ func main() {
 	}
 	if *jobs < 1 {
 		*jobs = 1
+	}
+
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, Schema: experiments.StoreSchema, Logger: logger})
+		if err != nil {
+			logger.Error("store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		sched.Global().SetTier(st)
+		s := st.Stats()
+		logger.Info("result store attached", "mode", s.Mode, "dir", s.Dir, "blobs", s.DiskBlobs, "degraded", s.Degraded)
 	}
 
 	// The telemetry plane is passive: the hub observes the global
@@ -134,39 +159,54 @@ func main() {
 			sp := hub.ExperimentStart(name)
 			logger.Info("experiment started", "exp", name)
 			t0 := time.Now()
-			rep, err := carf.RunExperimentReport(name, carf.ExperimentOptions{Scale: *scale})
+			rep, err := carf.RunExperimentReport(name, carf.ExperimentOptions{Ctx: ctx, Scale: *scale})
 			elapsed := time.Since(t0)
 			hub.ExperimentEnd(name, sp, elapsed, err)
 			if err == nil {
 				logger.Info("experiment finished", "exp", name,
 					"elapsed", elapsed.Round(time.Millisecond),
 					"runs", rep.Sched.Runs, "simulated", rep.Sched.Misses,
-					"cached", rep.Sched.Hits, "joined", rep.Sched.Joins)
+					"cached", rep.Sched.Hits, "disk", rep.Sched.DiskHits, "joined", rep.Sched.Joins)
 			}
 			ch <- result{rep: rep, err: err, elapsed: elapsed}
 		}(name, done[i])
 	}
 
+	// Stream results in experiment order. On failure — including a
+	// signal-driven cancellation — stop printing but fall through to the
+	// flush/close path below, so partial output and the trace survive.
+	exitCode := 0
 	reports := make([]result, len(names))
+	completed := 0
 	for i, name := range names {
 		r := <-done[i]
 		if r.err != nil {
-			logger.Error("experiment failed", "exp", name, "err", r.err)
-			os.Exit(1)
+			if errors.Is(r.err, context.Canceled) || ctx.Err() != nil {
+				logger.Error("study interrupted, flushing partial output", "exp", name)
+			} else {
+				logger.Error("experiment failed", "exp", name, "err", r.err)
+			}
+			exitCode = 1
+			break
 		}
 		reports[i] = r
+		completed++
 		fmt.Fprintf(w, "== %s: %s (%.1fs)\n\n%s\n", name, carf.DescribeExperiment(name),
 			r.elapsed.Seconds(), r.rep.Text)
 	}
 
-	st := carf.GlobalSchedulerStats()
-	fmt.Fprintf(w, "total: %d experiments in %.1fs (jobs %d; %d simulations: %d run, %d cached, %d joined)\n",
-		len(names), time.Since(start).Seconds(), *jobs, st.Runs, st.Misses, st.Hits, st.Joins)
-	fmt.Fprintf(w, "\nper-experiment scheduler activity:\n")
-	for i, name := range names {
-		s := reports[i].rep.Sched
-		fmt.Fprintf(w, "  %-9s %4d runs: %4d simulated, %4d cached, %4d joined  (queue %.2fs, sim %.2fs)\n",
-			name, s.Runs, s.Misses, s.Hits, s.Joins, s.QueueWaitSeconds, s.SimWallSeconds)
+	if exitCode == 0 {
+		st := carf.GlobalSchedulerStats()
+		fmt.Fprintf(w, "total: %d experiments in %.1fs (jobs %d; %d simulations: %d run, %d cached, %d disk, %d joined)\n",
+			len(names), time.Since(start).Seconds(), *jobs, st.Runs, st.Misses, st.Hits, st.DiskHits, st.Joins)
+		fmt.Fprintf(w, "\nper-experiment scheduler activity:\n")
+		for i, name := range names {
+			s := reports[i].rep.Sched
+			fmt.Fprintf(w, "  %-9s %4d runs: %4d simulated, %4d cached, %4d disk, %4d joined  (queue %.2fs, sim %.2fs)\n",
+				name, s.Runs, s.Misses, s.Hits, s.DiskHits, s.Joins, s.QueueWaitSeconds, s.SimWallSeconds)
+		}
+	} else if completed > 0 {
+		fmt.Fprintf(w, "(interrupted after %d of %d experiments)\n", completed, len(names))
 	}
 
 	if *out != "" {
@@ -193,5 +233,8 @@ func main() {
 		}
 		logger.Info("orchestration trace written", "path", *traceOut,
 			"spans", hub.Tracer().Len(), "viewer", "https://ui.perfetto.dev")
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }

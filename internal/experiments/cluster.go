@@ -47,8 +47,8 @@ func Cluster(opt Options) (Result, error) {
 		}
 		var ops, crossings uint64
 		for _, o := range outs {
-			ops += o.pstats.IntOperands
-			crossings += o.pstats.CrossClusterOps
+			ops += o.Pstats.IntOperands
+			crossings += o.Pstats.CrossClusterOps
 		}
 		crossRate := 0.0
 		if ops > 0 {

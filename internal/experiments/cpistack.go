@@ -55,12 +55,15 @@ func CPIStackStudy(opt Options) (Result, error) {
 		name := cpiKernels[idx/len(orgs)]
 		org := orgs[idx%len(orgs)]
 		key := runKey("cpistack", opt, name, org.spec.id, cfg, "profiled")
-		v, prov, err := opt.Sched.Do(key, runLabel("cpistack", name, org.spec.id), true, func() (any, error) {
+		v, prov, err := opt.Sched.DoCtx(opt.Ctx, key, runLabel("cpistack", name, org.spec.id), true, func() (any, error) {
 			k, err := workload.ByName(name, opt.Scale)
 			if err != nil {
 				return nil, err
 			}
 			cpu := pipeline.New(cfg, k.Prog, org.spec.new())
+			if opt.Ctx.Done() != nil {
+				cpu.SetInterrupt(opt.Ctx.Err)
+			}
 			prof := cpu.InstallProfiler()
 			if _, err := cpu.Run(); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", name, org.label, err)

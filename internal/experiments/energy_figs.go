@@ -65,7 +65,7 @@ func Fig7(opt Options) (Result, error) {
 func suiteEnergy(tech energy.Tech, outs []runOut) float64 {
 	var total float64
 	for _, o := range outs {
-		total += tech.Organization(o.files).TotalEnergy
+		total += tech.Organization(o.Files).TotalEnergy
 	}
 	return total
 }

@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+	"encoding/gob"
 	"fmt"
 
 	"carf/internal/core"
@@ -17,8 +19,27 @@ import (
 	"carf/internal/workload"
 )
 
+// StoreSchema versions the persisted encoding of cached run results
+// for the on-disk tier (internal/store). Bump it whenever runOut's
+// shape, the statistics it carries, or the simulation's observable
+// behaviour changes — a stale blob under the old schema is then simply
+// never found, rather than wrongly served.
+const StoreSchema = "carf-run/v1"
+
+func init() {
+	// runOut crosses the store's any-envelope, so its concrete type must
+	// be registered for gob. Named here once; values containing only
+	// exported scalar/slice fields round-trip exactly.
+	gob.Register(runOut{})
+}
+
 // Options configures an experiment run.
 type Options struct {
+	// Ctx carries cancellation and deadlines into every simulation this
+	// experiment schedules: queued runs abort before starting, running
+	// sims poll it cooperatively, and joiners detach. nil means
+	// context.Background() (never canceled).
+	Ctx context.Context
 	// Scale multiplies benchmark work (1.0 = the standard ~200–400k
 	// dynamic instructions per kernel; experiments default to 0.25).
 	Scale float64
@@ -42,6 +63,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.Scale <= 0 {
 		o.Scale = 0.25
 	}
@@ -179,13 +203,18 @@ func carfSpec(p core.Params) modelSpec {
 }
 
 // runOut is one simulation's harvest. Cached runOuts are shared across
-// experiments: everything reachable from one (pstats, files, carf) is
-// an immutable snapshot and must only be read.
+// experiments: everything reachable from one (Pstats, Files, Carf) is
+// an immutable snapshot and must only be read. Fields are exported
+// because runOut is also the unit of persistence — the disk tier
+// gob-encodes it, and unexported fields would be silently dropped.
+// Kernel is the kernel's *name*, not the workload.Kernel itself:
+// vm.Program carries unexported derived state that gob cannot carry,
+// and the scheduler key already pins the exact program content.
 type runOut struct {
-	kernel workload.Kernel
-	pstats pipeline.Stats
-	files  []regfile.FileActivity
-	carf   *core.Stats
+	Kernel string
+	Pstats pipeline.Stats
+	Files  []regfile.FileActivity
+	Carf   *core.Stats
 }
 
 // runKey digests everything a plain simulation's result depends on.
@@ -201,11 +230,17 @@ func runKey(kind string, opt Options, kernel string, specID string, cfg pipeline
 // sampler attached. It is the scheduler-job body shared by every
 // harvesting path; callers go through runOneCfg (or a sibling wrapper)
 // so the run is pooled and memoized.
-func simulate(k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pipeline.LiveSampler, period int) (runOut, error) {
+func simulate(ctx context.Context, k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pipeline.LiveSampler, period int) (runOut, error) {
 	model := spec.new()
 	cpu := pipeline.New(cfg, k.Prog, model)
 	if sampler != nil {
 		cpu.SetSampler(sampler, period)
+	}
+	if ctx.Done() != nil {
+		// Cooperative abort: the cycle loop polls ctx.Err periodically.
+		// Installed out-of-band (not via Config) so cache keys, which
+		// digest Config by value, stay context-free.
+		cpu.SetInterrupt(ctx.Err)
 	}
 	st, err := cpu.Run()
 	if err != nil {
@@ -215,10 +250,10 @@ func simulate(k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pi
 		return runOut{}, fmt.Errorf("%s on %s: %d register reconstruction mismatches",
 			k.Name, model.Name(), st.ValueMismatches)
 	}
-	out := runOut{kernel: k, pstats: st, files: model.Files()}
+	out := runOut{Kernel: k.Name, Pstats: st, Files: model.Files()}
 	if f, ok := model.(*core.File); ok {
 		cs := f.Stats()
-		out.carf = &cs
+		out.Carf = &cs
 	}
 	return out, nil
 }
@@ -240,9 +275,9 @@ func runLabel(kind, kernel, specID string) string {
 // scheduler: concurrency is bounded by the shared worker pool and the
 // result is memoized by (kernel, scale, model spec, config).
 func runOneCfg(k workload.Kernel, spec modelSpec, cfg pipeline.Config, opt Options) (runOut, error) {
-	v, prov, err := opt.Sched.Do(runKey("sim", opt, k.Name, spec.id, cfg),
+	v, prov, err := opt.Sched.DoCtx(opt.Ctx, runKey("sim", opt, k.Name, spec.id, cfg),
 		runLabel("sim", k.Name, spec.id), true, func() (any, error) {
-			return simulate(k, spec, cfg, nil, 0)
+			return simulate(opt.Ctx, k, spec, cfg, nil, 0)
 		})
 	opt.Tally.Record(prov, err)
 	if err != nil {
@@ -275,7 +310,7 @@ func runSuiteCfg(kernels []workload.Kernel, spec modelSpec, cfg pipeline.Config,
 func meanRelIPC(a, b []runOut) float64 {
 	ratios := make([]float64, len(a))
 	for i := range a {
-		ratios[i] = a[i].pstats.IPC() / b[i].pstats.IPC()
+		ratios[i] = a[i].Pstats.IPC() / b[i].Pstats.IPC()
 	}
 	return stats.Mean(ratios)
 }

@@ -65,10 +65,10 @@ func policyStudy(opt Options) (stats.Table, error) {
 		var frees, fails uint64
 		for _, o := range outs {
 			for t := 0; t < 3; t++ {
-				reads[t] += o.carf.ReadsByType[t]
+				reads[t] += o.Carf.ReadsByType[t]
 			}
-			frees += o.carf.ShortFrees
-			fails += o.carf.ShortInstallFails
+			frees += o.Carf.ShortFrees
+			fails += o.Carf.ShortInstallFails
 		}
 		total := reads[0] + reads[1] + reads[2]
 		shortShare := 0.0
@@ -133,7 +133,7 @@ func camStudy(opt Options) (stats.Table, error) {
 	shortEnergy := func(outs []runOut) float64 {
 		var e float64
 		for _, o := range outs {
-			for _, f := range tech.Organization(o.files).Files {
+			for _, f := range tech.Organization(o.Files).Files {
 				if f.Spec.Name == "short" {
 					e += f.TotalEnergy
 				}
@@ -165,7 +165,7 @@ func clusterStudy(opt Options) (stats.Table, error) {
 	for _, o := range outs {
 		for i := 0; i < 3; i++ {
 			for j := 0; j < 3; j++ {
-				n := o.pstats.OperandCombos[i][j]
+				n := o.Pstats.OperandCombos[i][j]
 				total += n
 				if i == j {
 					same += n

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,16 +55,16 @@ func faultParams() core.Params {
 // knob are part of the memoization key, so a checked/injected run can
 // never be served the result of a clean one (or vice versa).
 func RunFaultInjection(kernel string, scale float64, f harden.Fault) (harden.Outcome, error) {
-	return runFaultInjection(sched.Global(), nil, kernel, scale, f)
+	return runFaultInjection(context.Background(), sched.Global(), nil, kernel, scale, f)
 }
 
-func runFaultInjection(s *sched.Scheduler, tally *sched.Tally, kernel string, scale float64, f harden.Fault) (harden.Outcome, error) {
+func runFaultInjection(ctx context.Context, s *sched.Scheduler, tally *sched.Tally, kernel string, scale float64, f harden.Fault) (harden.Outcome, error) {
 	cfg := pipeline.DefaultConfig()
 	cfg.Harden = faultHardenOptions()
 	p := faultParams()
 	key := sched.KeyOf("fault", kernel, scale, fmt.Sprintf("carf%+v", p), cfg, f)
 	label := runLabel("fault", kernel, fmt.Sprintf("%v#%d", f.Class, f.Seed))
-	v, prov, err := s.Do(key, label, true, func() (any, error) {
+	v, prov, err := s.DoCtx(ctx, key, label, true, func() (any, error) {
 		return injectOnce(kernel, scale, cfg, p, f)
 	})
 	tally.Record(prov, err)
@@ -140,7 +141,7 @@ func Faults(opt Options) (Result, error) {
 	outs := make([]harden.Outcome, len(jobs))
 	if err := sched.ForEach(len(jobs), func(i int) error {
 		var err error
-		outs[i], err = runFaultInjection(opt.Sched, opt.Tally, faultKernel, opt.Scale, harden.Fault{
+		outs[i], err = runFaultInjection(opt.Ctx, opt.Sched, opt.Tally, faultKernel, opt.Scale, harden.Fault{
 			Class: classes[jobs[i].class],
 			Cycle: faultInjectCycle,
 			Seed:  faultSeeds[jobs[i].seed],

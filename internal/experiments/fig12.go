@@ -23,14 +23,14 @@ func oracleSuite(kernels []workload.Kernel, ds []int, opt Options) ([]*oracle.An
 	err := sched.ForEach(len(kernels), func(i int) error {
 		k := kernels[i]
 		key := runKey("oracle", opt, k.Name, "baseline", cfg, ds, opt.SamplePeriod)
-		v, prov, err := opt.Sched.Do(key, runLabel("oracle", k.Name, "baseline"), true, func() (any, error) {
+		v, prov, err := opt.Sched.DoCtx(opt.Ctx, key, runLabel("oracle", k.Name, "baseline"), true, func() (any, error) {
 			analyzers := make([]*oracle.Analyzer, len(ds))
 			local := make(oracle.Fanout, len(ds))
 			for j, d := range ds {
 				analyzers[j] = oracle.NewAnalyzer(d)
 				local[j] = analyzers[j]
 			}
-			if _, err := simulate(k, baselineSpec(), cfg, local, opt.SamplePeriod); err != nil {
+			if _, err := simulate(opt.Ctx, k, baselineSpec(), cfg, local, opt.SamplePeriod); err != nil {
 				return nil, err
 			}
 			return analyzers, nil

@@ -32,8 +32,8 @@ func Fig6(opt Options) (Result, error) {
 		var reads, writes [3]uint64
 		for _, o := range outs {
 			for t := 0; t < 3; t++ {
-				reads[t] += o.carf.ReadsByType[t]
-				writes[t] += o.carf.WritesByType[t]
+				reads[t] += o.Carf.ReadsByType[t]
+				writes[t] += o.Carf.WritesByType[t]
 			}
 		}
 		read.Rows = append(read.Rows, shareRow(dn, reads))

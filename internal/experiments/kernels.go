@@ -48,7 +48,7 @@ func Kernels(opt Options) (Result, error) {
 		if k.FP {
 			suite = "fp"
 		}
-		cs := carf[i].carf
+		cs := carf[i].Carf
 		var wtotal uint64
 		for _, w := range cs.WritesByType {
 			wtotal += w
@@ -61,14 +61,14 @@ func Kernels(opt Options) (Result, error) {
 				100*float64(cs.WritesByType[2])/float64(wtotal))
 		}
 		mp := 0.0
-		if b := base[i].pstats.Branches; b > 0 {
-			mp = float64(base[i].pstats.Mispredicts) / float64(b)
+		if b := base[i].Pstats.Branches; b > 0 {
+			mp = float64(base[i].Pstats.Mispredicts) / float64(b)
 		}
 		tb.AddRow(k.Name, suite,
-			stats.F3(unl[i].pstats.IPC()),
-			stats.F3(base[i].pstats.IPC()),
-			stats.F3(carf[i].pstats.IPC()),
-			stats.Pct(carf[i].pstats.IPC()/base[i].pstats.IPC()),
+			stats.F3(unl[i].Pstats.IPC()),
+			stats.F3(base[i].Pstats.IPC()),
+			stats.F3(carf[i].Pstats.IPC()),
+			stats.Pct(carf[i].Pstats.IPC()/base[i].Pstats.IPC()),
 			stats.Pct(mp),
 			mix)
 	}
@@ -104,8 +104,8 @@ func Calibration(opt Options) (Result, error) {
 
 		var carfEnergy, baseEnergy float64
 		for i := range outs {
-			carfEnergy += tech.Organization(outs[i].files).TotalEnergy
-			baseEnergy += tech.Organization(baseOuts[i].files).TotalEnergy
+			carfEnergy += tech.Organization(outs[i].Files).TotalEnergy
+			baseEnergy += tech.Organization(baseOuts[i].Files).TotalEnergy
 		}
 		var carfArea, carfTime float64
 		f := core.New(core.DefaultParams())

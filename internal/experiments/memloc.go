@@ -53,7 +53,7 @@ func Memloc(opt Options) (Result, error) {
 		err := sched.ForEach(len(suite.kernels), func(i int) error {
 			k := suite.kernels[i]
 			key := sched.KeyOf("memloc", k.Name, opt.Scale, ds, memWindow)
-			v, prov, err := opt.Sched.Do(key, runLabel("memloc", k.Name, "vm"), true, func() (any, error) {
+			v, prov, err := opt.Sched.DoCtx(opt.Ctx, key, runLabel("memloc", k.Name, "vm"), true, func() (any, error) {
 				local := newStreams()
 				m := vm.New(k.Prog)
 				for !m.Halted {

@@ -40,8 +40,11 @@ func Phases(opt Options) (Result, error) {
 	err := sched.ForEach(len(kernels), func(i int) error {
 		k := kernels[i]
 		key := runKey("phases", opt, k.Name, spec.id, cfg, phasesInterval)
-		v, prov, err := opt.Sched.Do(key, runLabel("phases", k.Name, spec.id), true, func() (any, error) {
+		v, prov, err := opt.Sched.DoCtx(opt.Ctx, key, runLabel("phases", k.Name, spec.id), true, func() (any, error) {
 			cpu := pipeline.New(cfg, k.Prog, spec.new())
+			if opt.Ctx.Done() != nil {
+				cpu.SetInterrupt(opt.Ctx.Err)
+			}
 			sampler := cpu.InstallMetrics(metrics.NewRegistry(), phasesInterval)
 			st, err := cpu.Run()
 			if err != nil {

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"carf/internal/sched"
+	"carf/internal/store"
+)
+
+// quietLogger suppresses the store's (expected) quarantine and
+// degradation reports so test output stays readable.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// renderWithStore runs name on a fresh scheduler backed by a fresh
+// store over dir and returns the rendered text plus both stat
+// snapshots.
+func renderWithStore(t *testing.T, name, dir string) (string, sched.Stats, store.Stats) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Schema: StoreSchema, Logger: quietLogger()})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	defer st.Close()
+	s := sched.New(4)
+	s.SetTier(st)
+	text := render(t, name, Options{Scale: determinismScale, Sched: s})
+	return text, s.Stats(), st.Stats()
+}
+
+// TestCrashRecovery is the crash-safety gate: a blob torn by a
+// simulated crash (truncated payload, stray temp file) must be
+// detected by its checksum, quarantined — never served — and the run
+// transparently re-simulated, with the rendered exhibit byte-identical
+// to an undamaged store's.
+func TestCrashRecovery(t *testing.T) {
+	const exp = "table2"
+	want := render(t, exp, Options{Scale: determinismScale, Sched: sched.New(1)})
+	dir := t.TempDir()
+
+	// Round 1: populate the store.
+	text, _, sst := renderWithStore(t, exp, dir)
+	if text != want {
+		t.Fatalf("store-backed render differs from plain render:\n--- want ---\n%s\n--- got ---\n%s", want, text)
+	}
+	if sst.Puts == 0 {
+		t.Fatalf("round 1 persisted nothing (store stats %+v)", sst)
+	}
+
+	// Simulate a crash mid-write: truncate one blob's payload and plant
+	// a stray temp file like an interrupted writeBlob would leave.
+	blobs, err := filepath.Glob(filepath.Join(dir, "schema-*", "*.blob"))
+	if err != nil || len(blobs) < 2 {
+		t.Fatalf("expected >= 2 blobs on disk, found %d (err %v)", len(blobs), err)
+	}
+	victim := blobs[0]
+	info, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victim, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(filepath.Dir(victim), "deadbeef-crash.tmp")
+	if err := os.WriteFile(stray, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 2: a fresh store over the damaged directory must sweep the
+	// temp file, quarantine the truncated blob, serve the intact ones
+	// from disk, and re-simulate the lost run — byte-identically.
+	text2, schedStats, sst2 := renderWithStore(t, exp, dir)
+	if text2 != want {
+		t.Errorf("recovered render differs from pristine render:\n--- want ---\n%s\n--- got ---\n%s", want, text2)
+	}
+	if sst2.Quarantined == 0 {
+		t.Errorf("truncated blob was not quarantined (store stats %+v)", sst2)
+	}
+	if schedStats.DiskHits == 0 {
+		t.Errorf("intact blobs were not served from the disk tier (sched stats %+v)", schedStats)
+	}
+	if schedStats.Misses == 0 {
+		t.Errorf("quarantined run was not re-simulated (sched stats %+v)", schedStats)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Errorf("stray temp file survived reopen: %v", err)
+	}
+	// The victim path exists again — re-persisted by the re-simulation —
+	// but it must now be a full-size valid blob, not the torn one.
+	if ni, err := os.Stat(victim); err != nil || ni.Size() != info.Size() {
+		t.Errorf("re-persisted blob at %s: size %v want %d (err %v)", victim, ni, info.Size(), err)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "schema-*", "quarantine", "*"))
+	if len(quarantined) == 0 {
+		t.Error("quarantine directory is empty; corrupt blob was deleted, not preserved for inspection")
+	}
+
+	// Round 3: the re-simulated run was re-persisted, so a third fresh
+	// store serves everything from disk.
+	text3, schedStats3, _ := renderWithStore(t, exp, dir)
+	if text3 != want {
+		t.Error("round 3 render differs")
+	}
+	if schedStats3.Misses != 0 {
+		t.Errorf("round 3 re-simulated %d runs; want all served from disk", schedStats3.Misses)
+	}
+}

@@ -25,7 +25,7 @@ func runSMT(a, b workload.Kernel, p core.Params, pol pipeline.SMTPolicy, opt Opt
 	cfg := pipeline.DefaultConfig()
 	key := runKey("smt", opt, a.Name+"+"+b.Name, fmt.Sprintf("carf%+v", p), cfg, pol)
 	label := runLabel("smt", a.Name+"+"+b.Name, fmt.Sprintf("policy-%v", pol))
-	v, prov, err := opt.Sched.Do(key, label, true, func() (any, error) {
+	v, prov, err := opt.Sched.DoCtx(opt.Ctx, key, label, true, func() (any, error) {
 		model := core.New(p)
 		smt := pipeline.NewSMT(cfg, [2]*vm.Program{a.Prog, b.Prog}, model)
 		smt.SetPolicy(pol)
@@ -110,7 +110,7 @@ func smtPair(a, b string, opt Options) ([]string, error) {
 	// Per-thread IPC is measured over each thread's own active cycles,
 	// so a short thread draining early does not count as idle loss.
 	combined := o.sts[0].IPC() + o.sts[1].IPC()
-	soloSum := soloA.pstats.IPC() + soloB.pstats.IPC()
+	soloSum := soloA.Pstats.IPC() + soloB.Pstats.IPC()
 	return []string{
 		a + "+" + b,
 		stats.F3(combined),

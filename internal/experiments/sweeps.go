@@ -65,9 +65,9 @@ func Sweeps(opt Options) (Result, error) {
 		var live []float64
 		var recov, spills uint64
 		for _, o := range append(append([]runOut{}, carfInt...), carfFP...) {
-			live = append(live, o.carf.AvgLiveLong())
-			recov += o.pstats.RecoveryStallCycles
-			spills += o.pstats.ForcedSpills
+			live = append(live, o.Carf.AvgLiveLong())
+			recov += o.Pstats.RecoveryStallCycles
+			spills += o.Pstats.ForcedSpills
 		}
 		long.AddRow(fmt.Sprintf("%d", k),
 			stats.Pct(meanRelIPC(carfInt, baseInt)), stats.Pct(meanRelIPC(carfFP, baseFP)),
@@ -123,7 +123,7 @@ func portSweep(opt Options, ints []workload.Kernel) (stats.Table, error) {
 		}
 		var vals []float64
 		for _, o := range outs {
-			vals = append(vals, o.pstats.IPC())
+			vals = append(vals, o.Pstats.IPC())
 		}
 		ipc := stats.Mean(vals)
 		if i == 0 {

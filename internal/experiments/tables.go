@@ -40,8 +40,8 @@ func Table2(opt Options) (Result, error) {
 func suiteBypass(outs []runOut) float64 {
 	var ops, byp uint64
 	for _, o := range outs {
-		ops += o.pstats.IntOperands
-		byp += o.pstats.BypassedOperands
+		ops += o.Pstats.IntOperands
+		byp += o.Pstats.BypassedOperands
 	}
 	if ops == 0 {
 		return 0
@@ -61,8 +61,8 @@ func Table4(opt Options) (Result, error) {
 	for _, o := range outs {
 		for i := 0; i < 3; i++ {
 			for j := 0; j < 3; j++ {
-				combos[i][j] += o.pstats.OperandCombos[i][j]
-				total += o.pstats.OperandCombos[i][j]
+				combos[i][j] += o.Pstats.OperandCombos[i][j]
+				total += o.Pstats.OperandCombos[i][j]
 			}
 		}
 	}

@@ -54,14 +54,14 @@ func WrongPath(opt Options) (Result, error) {
 		ipc := func(outs []runOut) float64 {
 			var vals []float64
 			for _, o := range outs {
-				vals = append(vals, o.pstats.IPC())
+				vals = append(vals, o.Pstats.IPC())
 			}
 			return stats.Mean(vals)
 		}
 		var phantoms, mispredicts uint64
 		for _, o := range spec {
-			phantoms += o.pstats.WrongPathFetched
-			mispredicts += o.pstats.Mispredicts
+			phantoms += o.Pstats.WrongPathFetched
+			mispredicts += o.Pstats.Mispredicts
 		}
 		perMp := 0.0
 		if mispredicts > 0 {

@@ -72,9 +72,10 @@ type LiveSampler interface {
 // CPU is one simulated hardware context bound to a program and an
 // integer register file model.
 type CPU struct {
-	cfg   Config
-	mach  *vm.Machine
-	model regfile.Model
+	cfg       Config
+	mach      *vm.Machine
+	model     regfile.Model
+	interrupt func() error
 
 	hier   *cache.Hierarchy
 	gshare *predictor.Gshare
@@ -358,6 +359,19 @@ func (c *CPU) freeFP(tag int) {
 	c.fpFree = append(c.fpFree, tag)
 }
 
+// SetInterrupt installs a cooperative-abort hook polled periodically
+// from the cycle loop: when fn returns a non-nil error the run stops
+// and reports it. It exists so callers can wire ctx.Err without
+// context appearing anywhere in Config — Config is digested by value
+// into scheduler cache keys, and a func field would poison key
+// stability. Pass nil to clear. Not safe to call while Run is active.
+func (c *CPU) SetInterrupt(fn func() error) { c.interrupt = fn }
+
+// interruptMask spaces interrupt polls: every 4096 cycles keeps the
+// check off the hot path (sub-microsecond granularity is pointless for
+// multi-second sims) without perturbing any statistic.
+const interruptMask = 1<<12 - 1
+
 // Run simulates until the program's HALT commits (or the instruction
 // budget is exhausted) and returns the statistics. With hardening
 // enabled, the first lockstep divergence or invariant violation ends
@@ -373,6 +387,11 @@ func (c *CPU) Run() (Stats, error) {
 		c.cycle()
 		if c.hard != nil && c.hard.err != nil {
 			return c.stats, c.hard.err
+		}
+		if c.interrupt != nil && c.stats.Cycles&interruptMask == 0 {
+			if err := c.interrupt(); err != nil {
+				return c.stats, fmt.Errorf("pipeline: run interrupted at cycle %d: %w", c.stats.Cycles, err)
+			}
 		}
 		if watchdog {
 			if stalled, tripped := c.hard.wd.Observe(c.stats.Cycles, c.stats.Instructions); tripped {

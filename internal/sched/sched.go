@@ -25,6 +25,8 @@
 package sched
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -69,11 +71,18 @@ type Outcome uint8
 const (
 	// Miss: the run was simulated by this call.
 	Miss Outcome = iota
-	// Hit: the result came from the completed-run cache.
+	// Hit: the result came from the in-memory completed-run cache.
 	Hit
 	// Joined: an identical run was already in flight; this call waited
 	// for it and shared its result.
 	Joined
+	// DiskHit: the result came from the persistent tier (see SetTier) —
+	// computed by an earlier process or evicted from memory since.
+	DiskHit
+	// Canceled: the request's context expired before a result was
+	// available (while queued for a worker slot, or while joined to an
+	// in-flight run that had not finished yet).
+	Canceled
 )
 
 func (o Outcome) String() string {
@@ -84,6 +93,10 @@ func (o Outcome) String() string {
 		return "hit"
 	case Joined:
 		return "joined"
+	case DiskHit:
+		return "disk-hit"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Outcome(%d)", uint8(o))
 }
@@ -105,8 +118,11 @@ type Stats struct {
 	CacheEntries int    // completed runs held in the memo cache
 	Runs         uint64 // total Do calls
 	Misses       uint64 // runs simulated
-	Hits         uint64 // runs served from the cache
+	Hits         uint64 // runs served from the in-memory cache
 	Joins        uint64 // runs that joined an in-flight execution
+	DiskHits     uint64 // runs served from the persistent tier
+	Canceled     uint64 // runs abandoned by their context before a result
+	Evictions    uint64 // memory-cache entries evicted by the LRU bound
 	Errors       uint64 // simulations that returned an error (never cached)
 
 	QueueWait time.Duration // cumulative worker-slot wait over misses
@@ -121,6 +137,9 @@ func (st Stats) Delta(prev Stats) Stats {
 	st.Misses -= prev.Misses
 	st.Hits -= prev.Hits
 	st.Joins -= prev.Joins
+	st.DiskHits -= prev.DiskHits
+	st.Canceled -= prev.Canceled
+	st.Evictions -= prev.Evictions
 	st.Errors -= prev.Errors
 	st.QueueWait -= prev.QueueWait
 	st.SimWall -= prev.SimWall
@@ -149,8 +168,9 @@ type Observer interface {
 // All methods are safe for concurrent use; a nil *Tally ignores Record,
 // so threading one through is optional at every level.
 type Tally struct {
-	runs, hits, misses, joins, errs atomic.Uint64
-	queueWaitNs, simWallNs          atomic.Int64
+	runs, hits, misses, joins atomic.Uint64
+	diskHits, canceled, errs  atomic.Uint64
+	queueWaitNs, simWallNs    atomic.Int64
 }
 
 // Record counts one served request.
@@ -164,6 +184,10 @@ func (t *Tally) Record(p Provenance, err error) {
 		t.hits.Add(1)
 	case Joined:
 		t.joins.Add(1)
+	case DiskHit:
+		t.diskHits.Add(1)
+	case Canceled:
+		t.canceled.Add(1)
 	case Miss:
 		t.misses.Add(1)
 		t.queueWaitNs.Add(int64(p.QueueWait))
@@ -186,10 +210,27 @@ func (t *Tally) Stats() Stats {
 		Misses:    t.misses.Load(),
 		Hits:      t.hits.Load(),
 		Joins:     t.joins.Load(),
+		DiskHits:  t.diskHits.Load(),
+		Canceled:  t.canceled.Load(),
 		Errors:    t.errs.Load(),
 		QueueWait: time.Duration(t.queueWaitNs.Load()),
 		SimWall:   time.Duration(t.simWallNs.Load()),
 	}
+}
+
+// Tier is a persistent second-level result cache underneath the
+// in-memory memo cache: Load is consulted on a memory miss before the
+// run is queued for a worker, and Store is offered every successful
+// cacheable result. Implementations must be safe for concurrent use,
+// must treat stored values as immutable, and must never fail a run —
+// a Tier that cannot serve or persist a value reports a miss / drops
+// the write (and accounts for it itself). The store package's tiered
+// blob store is the canonical implementation.
+type Tier interface {
+	// Load returns the value persisted under key, if a valid one exists.
+	Load(key Key) (val any, ok bool)
+	// Store persists a successful run's value under key (best effort).
+	Store(key Key, val any)
 }
 
 // entry is one execution: in flight until done is closed, then an
@@ -213,6 +254,14 @@ type Scheduler struct {
 
 	cache    map[Key]*entry // completed, error-free runs
 	inflight map[Key]*entry
+
+	// LRU bookkeeping over cache: front = most recently used. cacheCap
+	// 0 means unbounded (the pre-eviction behaviour).
+	lru      *list.List
+	lruPos   map[Key]*list.Element
+	cacheCap int
+
+	tier Tier // persistent second-level cache; nil when not attached
 
 	stats Stats
 	seq   uint64 // next run id handed to the observer
@@ -244,6 +293,8 @@ func New(workers int) *Scheduler {
 		memo:     true,
 		cache:    make(map[Key]*entry),
 		inflight: make(map[Key]*entry),
+		lru:      list.New(),
+		lruPos:   make(map[Key]*list.Element),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.reg = metrics.NewRegistry()
@@ -256,6 +307,9 @@ func New(workers int) *Scheduler {
 	s.reg.GaugeFunc("sched.misses", snap(func(st Stats) float64 { return float64(st.Misses) }))
 	s.reg.GaugeFunc("sched.hits", snap(func(st Stats) float64 { return float64(st.Hits) }))
 	s.reg.GaugeFunc("sched.joins", snap(func(st Stats) float64 { return float64(st.Joins) }))
+	s.reg.GaugeFunc("sched.disk_hits", snap(func(st Stats) float64 { return float64(st.DiskHits) }))
+	s.reg.GaugeFunc("sched.canceled", snap(func(st Stats) float64 { return float64(st.Canceled) }))
+	s.reg.GaugeFunc("sched.evictions", snap(func(st Stats) float64 { return float64(st.Evictions) }))
 	s.reg.GaugeFunc("sched.errors", snap(func(st Stats) float64 { return float64(st.Errors) }))
 	s.reg.GaugeFunc("sched.queue_wait_ms", snap(func(st Stats) float64 { return float64(st.QueueWait) / float64(time.Millisecond) }))
 	s.reg.GaugeFunc("sched.sim_wall_ms", snap(func(st Stats) float64 { return float64(st.SimWall) / float64(time.Millisecond) }))
@@ -263,7 +317,7 @@ func New(workers int) *Scheduler {
 		if st.Runs == 0 {
 			return 0
 		}
-		return float64(st.Hits+st.Joins) / float64(st.Runs)
+		return float64(st.Hits+st.Joins+st.DiskHits) / float64(st.Runs)
 	}))
 	s.queueHist = s.reg.SyncHistogram("sched.queue_wait_seconds", latencyBounds)
 	s.simHist = s.reg.SyncHistogram("sched.sim_wall_seconds", latencyBounds)
@@ -277,6 +331,65 @@ func (s *Scheduler) SetObserver(o Observer) {
 	s.mu.Lock()
 	s.obs = o
 	s.mu.Unlock()
+}
+
+// SetTier attaches (or, with nil, detaches) the persistent result tier.
+// Attach before submitting work; values already cached in memory are
+// not retroactively persisted.
+func (s *Scheduler) SetTier(t Tier) {
+	s.mu.Lock()
+	s.tier = t
+	s.mu.Unlock()
+}
+
+// SetCacheCap bounds the in-memory memo cache to n completed runs,
+// evicting least-recently-used entries beyond it (they remain
+// retrievable from the persistent tier, if one is attached). n <= 0
+// removes the bound.
+func (s *Scheduler) SetCacheCap(n int) {
+	s.mu.Lock()
+	s.cacheCap = n
+	s.evictOver()
+	s.mu.Unlock()
+}
+
+// cacheInsert stores a completed entry and applies the LRU bound.
+// Callers hold s.mu.
+func (s *Scheduler) cacheInsert(key Key, e *entry) {
+	if el, ok := s.lruPos[key]; ok {
+		s.lru.MoveToFront(el)
+		s.cache[key] = e
+		return
+	}
+	s.cache[key] = e
+	s.lruPos[key] = s.lru.PushFront(key)
+	s.evictOver()
+}
+
+// cacheTouch marks key most recently used. Callers hold s.mu.
+func (s *Scheduler) cacheTouch(key Key) {
+	if el, ok := s.lruPos[key]; ok {
+		s.lru.MoveToFront(el)
+	}
+}
+
+// evictOver drops least-recently-used cache entries beyond cacheCap.
+// Callers hold s.mu.
+func (s *Scheduler) evictOver() {
+	if s.cacheCap <= 0 {
+		return
+	}
+	for len(s.cache) > s.cacheCap {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		key := el.Value.(Key)
+		s.lru.Remove(el)
+		delete(s.lruPos, key)
+		delete(s.cache, key)
+		s.stats.Evictions++
+	}
 }
 
 var (
@@ -343,6 +456,13 @@ func (s *Scheduler) Stats() Stats {
 func (s *Scheduler) Metrics() *metrics.Registry { return s.reg }
 
 // Do runs fn through the worker pool, deduplicating and memoizing by
+// key when cacheable is true. It is DoCtx without a deadline: the call
+// blocks until a result is available.
+func (s *Scheduler) Do(key Key, label string, cacheable bool, fn func() (any, error)) (any, Provenance, error) {
+	return s.DoCtx(context.Background(), key, label, cacheable, fn)
+}
+
+// DoCtx runs fn through the worker pool, deduplicating and memoizing by
 // key when cacheable is true. The returned value is shared by every
 // caller with the same key and must be treated as immutable. Errors
 // propagate to all joined callers but are never cached — a later
@@ -350,10 +470,38 @@ func (s *Scheduler) Metrics() *metrics.Registry { return s.reg }
 // description ("sim/qsort/baseline") carried to the observer and shown
 // in telemetry; it has no effect on scheduling or caching.
 //
+// ctx carries the request's deadline and cancellation: a request whose
+// context expires while it waits for a worker slot, or while it is
+// joined to an in-flight execution, returns ctx's error with Outcome
+// Canceled instead of blocking forever. Cancellation of a joiner never
+// disturbs the leader — the one execution keeps running and its result
+// still lands in the cache. A leader canceled while queued resolves its
+// entry with the cancellation error, which propagates to any joiners
+// (a later request with the same key retries). fn itself is not
+// interrupted once running; closures wanting cooperative abort capture
+// ctx themselves (the pipeline's SetInterrupt hook is the simulator's
+// path).
+//
 // fn must not call Do on the same scheduler (a saturated pool of
 // parent runs waiting on child runs would deadlock).
-func (s *Scheduler) Do(key Key, label string, cacheable bool, fn func() (any, error)) (any, Provenance, error) {
+func (s *Scheduler) DoCtx(ctx context.Context, key Key, label string, cacheable bool, fn func() (any, error)) (any, Provenance, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: account for the request, touch nothing else.
+		s.mu.Lock()
+		s.stats.Runs++
+		s.stats.Canceled++
+		s.seq++
+		id := s.seq
+		obs := s.obs
+		s.mu.Unlock()
+		p := Provenance{Outcome: Canceled, Key: key}
+		if obs != nil {
+			obs.RunEnqueued(id, key, label)
+			obs.RunFinished(id, p, err)
+		}
+		return nil, p, err
+	}
 	s.mu.Lock()
 	s.stats.Runs++
 	s.seq++
@@ -363,6 +511,7 @@ func (s *Scheduler) Do(key Key, label string, cacheable bool, fn func() (any, er
 	if cacheable {
 		if e, ok := s.cache[key]; ok {
 			s.stats.Hits++
+			s.cacheTouch(key)
 			s.mu.Unlock()
 			p := Provenance{Outcome: Hit, Key: key}
 			if obs != nil {
@@ -377,31 +526,93 @@ func (s *Scheduler) Do(key Key, label string, cacheable bool, fn func() (any, er
 			if obs != nil {
 				obs.RunEnqueued(id, key, label)
 			}
-			<-e.done
-			p := Provenance{Outcome: Joined, Key: key}
-			if obs != nil {
-				obs.RunFinished(id, p, e.err)
+			select {
+			case <-e.done:
+				p := Provenance{Outcome: Joined, Key: key}
+				if obs != nil {
+					obs.RunFinished(id, p, e.err)
+				}
+				return e.val, p, e.err
+			case <-ctx.Done():
+				// Detach: the leader keeps running and will still
+				// populate the cache; only this caller gives up.
+				err := fmt.Errorf("sched: abandoned joined run %s: %w", key.Short(), ctx.Err())
+				s.mu.Lock()
+				s.stats.Canceled++
+				s.mu.Unlock()
+				p := Provenance{Outcome: Canceled, Key: key}
+				if obs != nil {
+					obs.RunFinished(id, p, err)
+				}
+				return nil, p, err
 			}
-			return e.val, p, e.err
 		}
 	}
 	e := &entry{done: make(chan struct{})}
 	if cacheable {
 		s.inflight[key] = e
 	}
-	s.stats.Misses++
+	tier := s.tier
+	// Announce before the tier probe and the slot wait so telemetry sees
+	// the run queued, not just running. The in-flight entry is already
+	// registered, so dedup keeps working while the lock is dropped.
+	s.mu.Unlock()
 	if obs != nil {
-		// Announce before blocking on a slot so telemetry sees the run
-		// queued, not just running. The in-flight entry is already
-		// registered, so dedup keeps working while the lock is dropped.
-		s.mu.Unlock()
 		obs.RunEnqueued(id, key, label)
-		s.mu.Lock()
 	}
-	for s.busy >= s.workers {
+
+	// Persistent-tier probe: serving a previously computed run needs no
+	// worker slot. A hit is promoted into the memory cache so repeats
+	// stay cheap even after the blob ages out of the tier's own memory.
+	if cacheable && tier != nil {
+		if v, ok := tier.Load(key); ok {
+			e.val = v
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.cacheInsert(key, e)
+			s.stats.DiskHits++
+			s.mu.Unlock()
+			close(e.done)
+			p := Provenance{Outcome: DiskHit, Key: key}
+			if obs != nil {
+				obs.RunFinished(id, p, nil)
+			}
+			return v, p, nil
+		}
+	}
+
+	if done := ctx.Done(); done != nil {
+		// The pool wait below sleeps on a sync.Cond; wake it when the
+		// context expires so the cancellation check runs.
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stop()
+	}
+	s.mu.Lock()
+	for s.busy >= s.workers && ctx.Err() == nil {
 		s.cond.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		// Canceled while queued: resolve the entry with the error so
+		// joiners unblock (they see the error and may retry later).
+		s.stats.Canceled++
+		if cacheable {
+			delete(s.inflight, key)
+		}
+		e.err = fmt.Errorf("sched: run %s canceled while queued: %w", key.Short(), err)
+		s.mu.Unlock()
+		close(e.done)
+		p := Provenance{Outcome: Canceled, Key: key}
+		if obs != nil {
+			obs.RunFinished(id, p, e.err)
+		}
+		return nil, p, e.err
+	}
 	s.busy++
+	s.stats.Misses++
 	queueWait := time.Since(start)
 	s.stats.QueueWait += queueWait
 	s.mu.Unlock()
@@ -424,12 +635,16 @@ func (s *Scheduler) Do(key Key, label string, cacheable bool, fn func() (any, er
 	if cacheable {
 		delete(s.inflight, key)
 		if e.err == nil {
-			s.cache[key] = e
+			s.cacheInsert(key, e)
 		}
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	close(e.done)
+	if cacheable && e.err == nil && tier != nil {
+		// Persist outside the lock; the tier absorbs its own failures.
+		tier.Store(key, e.val)
+	}
 	p := Provenance{Outcome: Miss, Key: key, QueueWait: queueWait, SimWall: simWall}
 	if obs != nil {
 		obs.RunFinished(id, p, e.err)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -437,5 +438,169 @@ func TestTally(t *testing.T) {
 	nilTally.Record(p, nil) // must not panic
 	if nilTally.Stats() != (Stats{}) {
 		t.Error("nil tally stats not zero")
+	}
+}
+
+// fakeTier is an in-memory Tier for provenance tests.
+type fakeTier struct {
+	mu     sync.Mutex
+	m      map[Key]any
+	loads  int
+	stores int
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{m: make(map[Key]any)} }
+
+func (f *fakeTier) Load(key Key) (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	v, ok := f.m[key]
+	return v, ok
+}
+
+func (f *fakeTier) Store(key Key, val any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores++
+	f.m[key] = val
+}
+
+func TestDoCtxCanceledWhileQueued(t *testing.T) {
+	s := New(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do(KeyOf("hog"), "", false, func() (any, error) { //nolint:errcheck
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+
+	// The pool is saturated, so this request waits for a slot; cancel it
+	// there and it must return promptly with Outcome Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	ran := false
+	_, prov, err := s.DoCtx(ctx, KeyOf("queued"), "", true, func() (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) || prov.Outcome != Canceled {
+		t.Fatalf("queued cancel: prov=%+v err=%v", prov, err)
+	}
+	if ran {
+		t.Error("canceled request still executed its function")
+	}
+	close(release)
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Errorf("stats = %+v, want 1 canceled", st)
+	}
+
+	// Dead on arrival: an already-expired context never queues at all.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	_, prov, err = s.DoCtx(dead, KeyOf("doa"), "", true, func() (any, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) || prov.Outcome != Canceled {
+		t.Fatalf("DOA: prov=%+v err=%v", prov, err)
+	}
+}
+
+func TestJoinerDetachesOnOwnCancel(t *testing.T) {
+	s := New(2)
+	key := KeyOf("shared-run")
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan Provenance, 1)
+	go func() {
+		_, prov, _ := s.Do(key, "", true, func() (any, error) {
+			close(inFn)
+			<-release
+			return "value", nil
+		})
+		leaderDone <- prov
+	}()
+	<-inFn
+
+	// A joiner whose own context expires detaches; the leader keeps
+	// running and still populates the cache.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	_, prov, err := s.DoCtx(ctx, key, "", true, func() (any, error) {
+		t.Error("joiner ran the function")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) || prov.Outcome != Canceled {
+		t.Fatalf("joiner cancel: prov=%+v err=%v", prov, err)
+	}
+
+	close(release)
+	if p := <-leaderDone; p.Outcome != Miss {
+		t.Fatalf("leader outcome = %v, want miss (undisturbed by joiner cancel)", p.Outcome)
+	}
+	v, prov, err := s.Do(key, "", true, func() (any, error) { return nil, errors.New("must not run") })
+	if err != nil || v.(string) != "value" || prov.Outcome != Hit {
+		t.Errorf("post-detach request: v=%v prov=%+v err=%v (leader's result should be cached)", v, prov, err)
+	}
+}
+
+func TestTierDiskHitProvenance(t *testing.T) {
+	tier := newFakeTier()
+	key := KeyOf("persisted")
+	tier.m[key] = "from-disk"
+
+	s := New(2)
+	s.SetTier(tier)
+	v, prov, err := s.Do(key, "", true, func() (any, error) {
+		t.Error("tier-resident run was re-simulated")
+		return nil, nil
+	})
+	if err != nil || v.(string) != "from-disk" || prov.Outcome != DiskHit {
+		t.Fatalf("tier load: v=%v prov=%+v err=%v", v, prov, err)
+	}
+	// The disk hit was promoted into the memory cache: a repeat is a
+	// plain hit and does not touch the tier again.
+	loadsBefore := tier.loads
+	v, prov, err = s.Do(key, "", true, func() (any, error) { return nil, nil })
+	if err != nil || v.(string) != "from-disk" || prov.Outcome != Hit {
+		t.Fatalf("promoted hit: v=%v prov=%+v err=%v", v, prov, err)
+	}
+	if tier.loads != loadsBefore {
+		t.Error("memory hit consulted the tier")
+	}
+	// Fresh misses are offered to the tier.
+	if _, _, err := s.Do(KeyOf("fresh"), "", true, func() (any, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tier.stores != 1 {
+		t.Errorf("tier stores = %d, want 1", tier.stores)
+	}
+	if st := s.Stats(); st.DiskHits != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 disk hit / 1 hit / 1 miss", st)
+	}
+}
+
+func TestCacheCapEvictsLRUIntoTier(t *testing.T) {
+	tier := newFakeTier()
+	s := New(2)
+	s.SetTier(tier)
+	s.SetCacheCap(2)
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Do(KeyOf("evict", i), "", true, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheEntries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 cache entries and 1 eviction", st)
+	}
+	// The evicted (least recently used) entry comes back from the tier,
+	// not a re-simulation.
+	v, prov, err := s.Do(KeyOf("evict", 0), "", true, func() (any, error) {
+		t.Error("evicted run was re-simulated despite the tier holding it")
+		return nil, nil
+	})
+	if err != nil || v.(int) != 0 || prov.Outcome != DiskHit {
+		t.Fatalf("evicted reload: v=%v prov=%+v err=%v", v, prov, err)
 	}
 }

@@ -1,0 +1,539 @@
+// Package store is the persistent half of the simulation result cache:
+// a tiered store — a small in-memory LRU of decoded values over
+// on-disk content-addressed blobs — that implements sched.Tier, so a
+// scheduler wired to it serves previously computed runs across process
+// restarts.
+//
+// Crash safety is the design center:
+//
+//   - Blobs are written to a temporary file and renamed into place, so
+//     a crash mid-write never leaves a partially-written blob under a
+//     valid name. Leftover temporaries are swept on Open.
+//   - Every blob carries a header with the run-key schema string and a
+//     sha256 checksum of its payload. Both are verified on every read;
+//     a blob that fails verification (truncated by a crash, flipped
+//     bits, foreign schema) is quarantined — moved aside, never served,
+//     never fatal — and the read reports a miss so the scheduler simply
+//     re-simulates.
+//   - When the blob directory is missing, not creatable, or not
+//     writable (read-only volume), the store degrades to memory-only
+//     operation: it logs the reason loudly once, keeps serving, and
+//     surfaces the degradation in Stats for /healthz.
+//
+// Blobs are namespaced by a hash of the schema string, so a schema
+// bump (a change to the persisted value encoding) starts a fresh
+// namespace instead of serving stale bytes; old namespaces are left on
+// disk for manual cleanup or rollback.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"carf/internal/metrics"
+	"carf/internal/sched"
+)
+
+// blobMagic identifies the on-disk blob container format (the header
+// layout), independent of the payload schema the header then names.
+const blobMagic = "carf-blob/v1"
+
+// Codec converts cached values to and from blob payloads. Encode may
+// reject a value it cannot represent (the store then skips persisting
+// it — counted, not fatal); Decode must reject payloads it cannot
+// faithfully reconstruct.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(b []byte) (any, error)
+}
+
+// GobCodec encodes values with encoding/gob through an interface
+// envelope: any concrete type registered with gob.Register round-trips;
+// unregistered types fail Encode (the store counts and skips them).
+type GobCodec struct{}
+
+// Encode implements Codec.
+func (GobCodec) Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GobCodec) Decode(b []byte) (any, error) {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the blob directory root ("" = memory-only by choice, not
+	// degradation). The store manages a schema-named subdirectory.
+	Dir string
+
+	// Schema versions the persisted payload encoding; it must change
+	// whenever the meaning or encoding of stored values changes.
+	// Required.
+	Schema string
+
+	// MemEntries bounds the in-memory tier (decoded values, LRU).
+	// 0 takes DefaultMemEntries; negative disables the memory tier.
+	MemEntries int
+
+	// Codec converts values to blob payloads (default GobCodec).
+	Codec Codec
+
+	// Logger receives degradation and quarantine reports (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+// DefaultMemEntries is the in-memory tier bound when Options.MemEntries
+// is zero.
+const DefaultMemEntries = 256
+
+// Stats is a snapshot of the store's counters and condition, shaped for
+// /healthz and logs.
+type Stats struct {
+	Dir        string `json:"dir,omitempty"`    // schema-namespaced blob directory ("" when memory-only)
+	Mode       string `json:"mode"`             // "disk" or "memory-only"
+	Reason     string `json:"reason,omitempty"` // why the store is memory-only, when degraded
+	Degraded   bool   `json:"degraded"`         // true when disk was requested but is unavailable
+	MemEntries int    `json:"mem_entries"`      // decoded values held in the memory tier
+	DiskBlobs  int    `json:"disk_blobs"`       // valid blobs believed on disk
+
+	MemHits     uint64 `json:"mem_hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	PutSkipped  uint64 `json:"put_skipped"` // values the codec cannot represent
+	PutErrors   uint64 `json:"put_errors"`  // disk writes that failed (triggers degradation)
+	Quarantined uint64 `json:"quarantined"` // corrupt blobs moved aside
+	Evictions   uint64 `json:"evictions"`   // memory-tier LRU evictions
+}
+
+// Store is the tiered result store. All methods are safe for concurrent
+// use. It implements sched.Tier.
+type Store struct {
+	dir    string // schema-namespaced root; "" when memory-only
+	qdir   string // quarantine directory under dir
+	schema string
+	codec  Codec
+	log    *slog.Logger
+	memCap int
+
+	mu     sync.Mutex
+	mem    map[sched.Key]any
+	lru    *list.List // front = most recent; values are sched.Key
+	lruPos map[sched.Key]*list.Element
+	st     Stats
+	closed bool
+}
+
+// Open opens (creating if needed) the store rooted at o.Dir. Disk
+// problems never fail Open: the store degrades to memory-only operation
+// and says so loudly — check Stats().Degraded when the distinction
+// matters. The only error is a missing schema.
+func Open(o Options) (*Store, error) {
+	if o.Schema == "" {
+		return nil, fmt.Errorf("store: Options.Schema is required (it versions the persisted encoding)")
+	}
+	if o.Codec == nil {
+		o.Codec = GobCodec{}
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	memCap := o.MemEntries
+	switch {
+	case memCap == 0:
+		memCap = DefaultMemEntries
+	case memCap < 0:
+		memCap = 0 // memory tier disabled
+	}
+	s := &Store{
+		schema: o.Schema,
+		codec:  o.Codec,
+		log:    o.Logger,
+		memCap: memCap,
+		mem:    make(map[sched.Key]any),
+		lru:    list.New(),
+		lruPos: make(map[sched.Key]*list.Element),
+	}
+	s.st.Mode = "memory-only"
+	if o.Dir == "" {
+		return s, nil
+	}
+
+	sum := sha256.Sum256([]byte(o.Schema))
+	dir := filepath.Join(o.Dir, "schema-"+hex.EncodeToString(sum[:4]))
+	if err := s.initDisk(dir); err != nil {
+		s.degradeLocked(fmt.Sprintf("disk tier unavailable: %v", err))
+		return s, nil
+	}
+	s.dir = dir
+	s.qdir = filepath.Join(dir, "quarantine")
+	s.st.Dir = dir
+	s.st.Mode = "disk"
+	return s, nil
+}
+
+// initDisk creates the schema directory, proves it writable, records
+// the schema text for humans, sweeps crash leftovers, and counts blobs.
+func (s *Store) initDisk(dir string) error {
+	if err := os.MkdirAll(filepath.Join(dir, "quarantine"), 0o755); err != nil {
+		return err
+	}
+	// Write-probe: a read-only volume fails here, not on the first Put.
+	probe := filepath.Join(dir, ".probe.tmp")
+	if err := os.WriteFile(probe, []byte(blobMagic), 0o644); err != nil {
+		return fmt.Errorf("directory is not writable: %w", err)
+	}
+	os.Remove(probe)
+	// Best-effort human-readable schema marker.
+	os.WriteFile(filepath.Join(dir, "SCHEMA"), []byte(s.schema+"\n"), 0o644) //nolint:errcheck
+	// Sweep temporaries a crashed writer left behind and count blobs.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	blobs := 0
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir():
+		case filepath.Ext(name) == ".tmp":
+			os.Remove(filepath.Join(dir, name))
+			s.log.Info("store: removed interrupted write", "file", name)
+		case filepath.Ext(name) == ".blob":
+			blobs++
+		}
+	}
+	s.st.DiskBlobs = blobs
+	return nil
+}
+
+// degradeLocked switches the store to memory-only operation. Callers
+// may hold s.mu or not (Open calls it before the store is shared).
+func (s *Store) degradeLocked(reason string) {
+	s.dir = ""
+	s.st.Mode = "memory-only"
+	s.st.Degraded = true
+	s.st.Reason = reason
+	s.st.Dir = ""
+	s.log.Error("store: DEGRADED to memory-only operation — results will not survive restarts", "reason", reason)
+}
+
+// blobPath returns the blob file for key.
+func (s *Store) blobPath(key sched.Key) string {
+	return filepath.Join(s.dir, hex.EncodeToString(key[:])+".blob")
+}
+
+// header is the JSON first line of every blob.
+type header struct {
+	Magic  string `json:"magic"`
+	Schema string `json:"schema"`
+	SHA256 string `json:"sha256"`
+	Size   int64  `json:"size"`
+}
+
+// Load implements sched.Tier: memory tier first, then disk. A corrupt
+// blob is quarantined and reported as a miss.
+func (s *Store) Load(key sched.Key) (any, bool) {
+	s.mu.Lock()
+	if v, ok := s.mem[key]; ok {
+		s.st.MemHits++
+		if el, ok := s.lruPos[key]; ok {
+			s.lru.MoveToFront(el)
+		}
+		s.mu.Unlock()
+		return v, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir == "" {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	path := s.blobPath(key)
+	payload, err := s.readBlob(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.count(func(st *Stats) { st.Misses++ })
+		} else {
+			s.quarantine(path, err)
+			s.count(func(st *Stats) { st.Misses++ })
+		}
+		return nil, false
+	}
+	v, err := s.codec.Decode(payload)
+	if err != nil {
+		// The bytes are intact but no longer decodable (a type fell out
+		// of registration): quarantine, same as corruption.
+		s.quarantine(path, fmt.Errorf("payload does not decode: %w", err))
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	s.mu.Lock()
+	s.st.DiskHits++
+	s.memInsert(key, v)
+	s.mu.Unlock()
+	return v, true
+}
+
+// readBlob reads and verifies one blob file, returning its payload.
+// Any verification failure is an error distinct from fs.ErrNotExist.
+func (s *Store) readBlob(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := newLineReader(f)
+	line, err := r.line()
+	if err != nil {
+		return nil, fmt.Errorf("blob header unreadable: %w", err)
+	}
+	var h header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return nil, fmt.Errorf("blob header is not valid JSON: %w", err)
+	}
+	if h.Magic != blobMagic {
+		return nil, fmt.Errorf("blob magic %q, want %q", h.Magic, blobMagic)
+	}
+	if h.Schema != s.schema {
+		return nil, fmt.Errorf("blob schema %q, store schema %q", h.Schema, s.schema)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("blob payload unreadable: %w", err)
+	}
+	if int64(len(payload)) != h.Size {
+		return nil, fmt.Errorf("blob payload is %d bytes, header says %d (truncated write?)", len(payload), h.Size)
+	}
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != h.SHA256 {
+		return nil, fmt.Errorf("blob checksum mismatch: payload %s, header %s", got[:8], h.SHA256[:min(8, len(h.SHA256))])
+	}
+	return payload, nil
+}
+
+// quarantine moves a bad blob aside so it is never served again and
+// never re-verified on every request, preserving it for post-mortems.
+func (s *Store) quarantine(path string, cause error) {
+	dst := filepath.Join(s.qdir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		// Could not move it (gone already, or read-only disk): removing
+		// is the next best containment; failing that, it stays and will
+		// fail verification again next time — still never served.
+		os.Remove(path) //nolint:errcheck
+		dst = "(removed)"
+	}
+	s.log.Error("store: QUARANTINED corrupt blob — will re-simulate",
+		"blob", filepath.Base(path), "moved_to", dst, "cause", cause)
+	s.count(func(st *Stats) {
+		st.Quarantined++
+		if st.DiskBlobs > 0 {
+			st.DiskBlobs--
+		}
+	})
+}
+
+// Store implements sched.Tier: persist val under key, best effort.
+func (s *Store) Store(key sched.Key, val any) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.st.Puts++
+	s.memInsert(key, val)
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return
+	}
+
+	payload, err := s.codec.Encode(val)
+	if err != nil {
+		// The value's type is not persistable (unregistered, contains
+		// unexported state). Expected for instrumented run families;
+		// count and move on.
+		s.count(func(st *Stats) { st.PutSkipped++ })
+		return
+	}
+	if err := s.writeBlob(key, payload); err != nil {
+		s.mu.Lock()
+		s.st.PutErrors++
+		s.degradeLocked(fmt.Sprintf("blob write failed: %v", err))
+		s.mu.Unlock()
+		return
+	}
+	s.count(func(st *Stats) { st.DiskBlobs++ })
+}
+
+// writeBlob writes header+payload to a temporary and renames it into
+// place, so a crash at any point leaves either the old blob or a .tmp
+// that Open sweeps — never a truncated blob under a valid name.
+func (s *Store) writeBlob(key sched.Key, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	hdr, err := json.Marshal(header{
+		Magic:  blobMagic,
+		Schema: s.schema,
+		SHA256: hex.EncodeToString(sum[:]),
+		Size:   int64(len(payload)),
+	})
+	if err != nil {
+		return err
+	}
+	final := s.blobPath(key)
+	f, err := os.CreateTemp(s.dir, hex.EncodeToString(key[:4])+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		cleanup()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// memInsert adds v to the memory tier under the LRU bound. Callers hold
+// s.mu.
+func (s *Store) memInsert(key sched.Key, v any) {
+	if s.memCap == 0 {
+		return
+	}
+	if el, ok := s.lruPos[key]; ok {
+		s.lru.MoveToFront(el)
+		s.mem[key] = v
+		return
+	}
+	s.mem[key] = v
+	s.lruPos[key] = s.lru.PushFront(key)
+	for len(s.mem) > s.memCap {
+		el := s.lru.Back()
+		if el == nil {
+			break
+		}
+		k := el.Value.(sched.Key)
+		s.lru.Remove(el)
+		delete(s.lruPos, k)
+		delete(s.mem, k)
+		s.st.Evictions++
+	}
+}
+
+// count applies a stats mutation under the lock.
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.st)
+	s.mu.Unlock()
+}
+
+// Stats snapshots the store's counters and condition.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.MemEntries = len(s.mem)
+	return st
+}
+
+// Readings exports the store's counters in the metrics Reading shape
+// for Prometheus exposition alongside the scheduler's series.
+func (s *Store) Readings() []metrics.Reading {
+	st := s.Stats()
+	degraded := 0.0
+	if st.Degraded {
+		degraded = 1
+	}
+	return []metrics.Reading{
+		{Name: "store.mem_entries", Kind: metrics.ReadGauge, Value: float64(st.MemEntries)},
+		{Name: "store.disk_blobs", Kind: metrics.ReadGauge, Value: float64(st.DiskBlobs)},
+		{Name: "store.degraded", Kind: metrics.ReadGauge, Value: degraded},
+		{Name: "store.mem_hits_total", Kind: metrics.ReadCounter, Value: float64(st.MemHits)},
+		{Name: "store.disk_hits_total", Kind: metrics.ReadCounter, Value: float64(st.DiskHits)},
+		{Name: "store.misses_total", Kind: metrics.ReadCounter, Value: float64(st.Misses)},
+		{Name: "store.puts_total", Kind: metrics.ReadCounter, Value: float64(st.Puts)},
+		{Name: "store.put_skipped_total", Kind: metrics.ReadCounter, Value: float64(st.PutSkipped)},
+		{Name: "store.put_errors_total", Kind: metrics.ReadCounter, Value: float64(st.PutErrors)},
+		{Name: "store.quarantined_total", Kind: metrics.ReadCounter, Value: float64(st.Quarantined)},
+		{Name: "store.evictions_total", Kind: metrics.ReadCounter, Value: float64(st.Evictions)},
+	}
+}
+
+// Close flushes and closes the store. Writes are synchronous, so Close
+// only fences off further writes; it exists so shutdown paths have an
+// explicit "the store is consistent on disk now" point.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// lineReader reads one \n-terminated line, then exposes the rest of the
+// stream unread (bufio would buffer past the line).
+type lineReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func newLineReader(r io.Reader) *lineReader { return &lineReader{r: r} }
+
+// line reads bytes up to and excluding the first '\n'.
+func (lr *lineReader) line() ([]byte, error) {
+	var out []byte
+	for {
+		n, err := lr.r.Read(lr.buf[:])
+		if n > 0 {
+			if lr.buf[0] == '\n' {
+				return out, nil
+			}
+			out = append(out, lr.buf[0])
+			if len(out) > 4096 {
+				return nil, fmt.Errorf("header line exceeds 4096 bytes")
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (lr *lineReader) Read(p []byte) (int, error) { return lr.r.Read(p) }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,10 @@ type Server struct {
 	sch   atomic.Pointer[sched.Scheduler]
 	start time.Time
 
+	mu      sync.Mutex
+	extra   []func() []metrics.Reading
+	healthf func() map[string]any
+
 	ln  net.Listener
 	srv *http.Server
 }
@@ -49,6 +54,25 @@ func NewServer(hub *Hub, s *sched.Scheduler) *Server {
 // SetScheduler swaps the scheduler whose registry /metrics exposes and
 // whose Stats back the /runs summary.
 func (sv *Server) SetScheduler(s *sched.Scheduler) { sv.sch.Store(s) }
+
+// AddMetrics registers an extra readings source appended to every
+// /metrics scrape (the store's counters, the daemon's job gauges).
+// Sources must be safe to call from any goroutine.
+func (sv *Server) AddMetrics(fn func() []metrics.Reading) {
+	sv.mu.Lock()
+	sv.extra = append(sv.extra, fn)
+	sv.mu.Unlock()
+}
+
+// SetHealth installs a detail source merged into the /healthz document.
+// Reserved keys ("status", "uptime_seconds") are not overridable; a
+// "status" from fn is reported as "detail_status" instead, so liveness
+// probes keep their contract while degradation stays visible.
+func (sv *Server) SetHealth(fn func() map[string]any) {
+	sv.mu.Lock()
+	sv.healthf = fn
+	sv.mu.Unlock()
+}
 
 // Handler returns the telemetry mux (exported for httptest).
 func (sv *Server) Handler() http.Handler {
@@ -93,11 +117,26 @@ func (sv *Server) index(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	doc := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(sv.start).Seconds(),
-	})
+	}
+	sv.mu.Lock()
+	healthf := sv.healthf
+	sv.mu.Unlock()
+	if healthf != nil {
+		for k, v := range healthf() {
+			if k == "status" {
+				k = "detail_status"
+			}
+			if k == "uptime_seconds" {
+				continue
+			}
+			doc[k] = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
 }
 
 func (sv *Server) metrics(w http.ResponseWriter, _ *http.Request) {
@@ -116,6 +155,12 @@ func (sv *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		{Name: "telemetry.sse_subscribers", Kind: metrics.ReadGauge, Value: float64(subs)},
 		{Name: "telemetry.uptime_seconds", Kind: metrics.ReadGauge, Value: time.Since(sv.start).Seconds()},
 		{Name: "go.goroutines", Kind: metrics.ReadGauge, Value: float64(runtime.NumGoroutine())},
+	}
+	sv.mu.Lock()
+	extra := sv.extra
+	sv.mu.Unlock()
+	for _, fn := range extra {
+		meta = append(meta, fn()...)
 	}
 	WritePrometheus(w, "carf", meta) //nolint:errcheck // best-effort tail
 }
@@ -136,7 +181,9 @@ type schedStats struct {
 	Runs             uint64  `json:"runs"`
 	Misses           uint64  `json:"misses"`
 	Hits             uint64  `json:"hits"`
+	DiskHits         uint64  `json:"disk_hits"`
 	Joins            uint64  `json:"joins"`
+	Canceled         uint64  `json:"canceled"`
 	Errors           uint64  `json:"errors"`
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	SimWallSeconds   float64 `json:"sim_wall_seconds"`
@@ -158,7 +205,9 @@ func (sv *Server) runs(w http.ResponseWriter, _ *http.Request) {
 			Runs:             st.Runs,
 			Misses:           st.Misses,
 			Hits:             st.Hits,
+			DiskHits:         st.DiskHits,
 			Joins:            st.Joins,
+			Canceled:         st.Canceled,
 			Errors:           st.Errors,
 			QueueWaitSeconds: st.QueueWait.Seconds(),
 			SimWallSeconds:   st.SimWall.Seconds(),
