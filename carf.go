@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"carf/internal/core"
 	"carf/internal/energy"
@@ -218,11 +219,57 @@ func Run(kernel string, cfg Config) (Result, error) {
 	return RunCtx(context.Background(), kernel, cfg)
 }
 
+// Progress is one live snapshot of a running simulation, delivered to
+// the callback of RunCtxProgress (and ExperimentOptions.OnProgress).
+// Progress is purely observational: a run's Result is bit-identical
+// with or without a progress callback installed.
+type Progress struct {
+	// Label identifies the run ("sim/qsort/baseline" style for
+	// experiments, the kernel name for single runs).
+	Label string
+
+	Cycles       uint64
+	Instructions uint64
+
+	// Target is the run's known dynamic-instruction budget (0 when
+	// unknown); Pct is Instructions/Target in [0,1], or -1 when the
+	// target is unknown.
+	Target uint64
+	Pct    float64
+
+	// IntervalIPC is the throughput of the window since the previous
+	// report — live phase behaviour the cumulative IPC smooths away.
+	IntervalIPC float64
+
+	// InstsPerSec is the wall-clock retirement rate; EtaSeconds the
+	// remaining-work estimate from it (0 when unknowable).
+	InstsPerSec float64
+	EtaSeconds  float64
+
+	// Final marks the closing report: totals equal the run's Result.
+	Final bool
+}
+
+// RunCtxProgress is RunCtx with a live progress callback, invoked
+// periodically from the simulation loop and once more (Final) when the
+// run completes. The target instruction budget comes from a fast
+// functional pre-run of the kernel (memoized per kernel and scale), so
+// Pct and EtaSeconds are populated from the first frame. on runs on the
+// simulating goroutine and must return quickly; a nil on makes the call
+// identical to RunCtx.
+func RunCtxProgress(ctx context.Context, kernel string, cfg Config, on func(Progress)) (Result, error) {
+	return runCtx(ctx, kernel, cfg, on)
+}
+
 // RunCtx is Run with cancellation: the simulation polls ctx
 // periodically and aborts with ctx's error once it is canceled or past
 // its deadline. The partial run's statistics are discarded — a
 // canceled simulation never produces a Result.
 func RunCtx(ctx context.Context, kernel string, cfg Config) (Result, error) {
+	return runCtx(ctx, kernel, cfg, nil)
+}
+
+func runCtx(ctx context.Context, kernel string, cfg Config, on func(Progress)) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -269,6 +316,36 @@ func RunCtx(ctx context.Context, kernel string, cfg Config) (Result, error) {
 	}
 	if ctx.Done() != nil {
 		cpu.SetInterrupt(ctx.Err)
+	}
+	if on != nil {
+		// Out-of-band like SetInterrupt: progress hooks never enter
+		// Config, so memoization keys built from Config stay stable.
+		target := workload.Budget(k, cfg.Scale)
+		if cfg.MaxInstructions > 0 && (target == 0 || cfg.MaxInstructions < target) {
+			target = cfg.MaxInstructions
+		}
+		start := time.Now()
+		cpu.SetProgress(func(pp pipeline.Progress) {
+			p := Progress{
+				Label:        kernel,
+				Cycles:       pp.Cycles,
+				Instructions: pp.Instructions,
+				Target:       target,
+				Pct:          -1,
+				IntervalIPC:  pp.IntervalIPC,
+				Final:        pp.Final,
+			}
+			if target > 0 {
+				p.Pct = math.Min(float64(pp.Instructions)/float64(target), 1)
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				p.InstsPerSec = float64(pp.Instructions) / elapsed
+				if target > pp.Instructions && p.InstsPerSec > 0 {
+					p.EtaSeconds = float64(target-pp.Instructions) / p.InstsPerSec
+				}
+			}
+			on(p)
+		})
 	}
 	st, err := cpu.Run()
 	if err != nil {
@@ -343,6 +420,14 @@ type ExperimentOptions struct {
 	// scheduler pool, so concurrent RunExperiment calls never exceed it
 	// combined. 0 leaves the current bound (initially GOMAXPROCS).
 	Parallel int
+
+	// OnProgress, when non-nil, receives live progress frames from every
+	// simulation the experiment actually executes (memoized and joined
+	// runs do no work and report nothing). The callback must be safe for
+	// concurrent use — parallel simulations report concurrently — and is
+	// purely observational: rendered experiment output is byte-identical
+	// with or without it.
+	OnProgress func(Progress)
 }
 
 // RunExperiment regenerates one paper exhibit and returns its rendered
@@ -375,7 +460,24 @@ type ExperimentReport struct {
 // were served from the memo cache, or joined an identical in-flight
 // run. The counts are exact even when experiments run concurrently.
 func RunExperimentReport(name string, opt ExperimentOptions) (ExperimentReport, error) {
-	r, err := experiments.Run(name, experiments.Options{Ctx: opt.Ctx, Scale: opt.Scale, Parallel: opt.Parallel})
+	eopt := experiments.Options{Ctx: opt.Ctx, Scale: opt.Scale, Parallel: opt.Parallel}
+	if opt.OnProgress != nil {
+		on := opt.OnProgress
+		eopt.OnProgress = func(label string, p sched.Progress) {
+			on(Progress{
+				Label:        label,
+				Cycles:       p.Cycles,
+				Instructions: p.Insts,
+				Target:       p.Target,
+				Pct:          p.Pct(),
+				IntervalIPC:  p.IntervalIPC,
+				InstsPerSec:  p.InstsPerSec,
+				EtaSeconds:   p.ETASeconds,
+				Final:        p.Final,
+			})
+		}
+	}
+	r, err := experiments.Run(name, eopt)
 	if err != nil {
 		return ExperimentReport{}, err
 	}

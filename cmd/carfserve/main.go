@@ -8,10 +8,11 @@
 //
 //	POST   /api/v1/runs             submit {"experiment": ...} or {"kernel": ...} -> run id
 //	GET    /api/v1/runs             list submitted runs
-//	GET    /api/v1/runs/{id}        poll one run's status and provenance
+//	GET    /api/v1/runs/{id}        poll one run's status, provenance, live progress
+//	GET    /api/v1/runs/{id}/stream follow one run's progress frames (SSE, ends with a done frame)
 //	GET    /api/v1/runs/{id}/result fetch the rendered output
 //	DELETE /api/v1/runs/{id}        cancel a run
-//	/metrics /runs /events /healthz the live telemetry plane
+//	/metrics /runs /events /healthz the live telemetry plane (carftop renders /runs)
 //
 // Robustness posture: per-client and global admission bounds shed
 // overload with 429 + Retry-After; every run carries a deadline and

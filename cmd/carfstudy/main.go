@@ -26,8 +26,13 @@
 //	carfstudy -jobs 4              # run up to 4 experiments concurrently
 //	carfstudy -scale 1.0           # full-size workloads (slower)
 //	carfstudy -telemetry 127.0.0.1:9090
+//	carfstudy -progress            # live per-simulation progress on stderr
 //	carfstudy -trace-out study-trace.json
 //	carfstudy -list
+//
+// A -telemetry study is watchable live from another terminal with
+// carftop (plain-text dashboard over /runs) or by curling
+// /runs/{id}/stream for one run's interval-level SSE frames.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -56,6 +62,38 @@ type result struct {
 	elapsed time.Duration
 }
 
+// progressLogger returns a per-experiment progress callback that logs a
+// throttled stderr line per live frame: which simulation is executing,
+// how far along it is, its interval-window IPC, and its ETA. One
+// throttle per experiment (not per simulation) keeps a parallel
+// experiment to a line every couple of seconds. Logging is purely
+// observational: stdout and -out output are byte-identical with or
+// without it.
+func progressLogger(logger *slog.Logger, exp string) func(carf.Progress) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(p carf.Progress) {
+		mu.Lock()
+		if time.Since(last) < 2*time.Second {
+			mu.Unlock()
+			return
+		}
+		last = time.Now()
+		mu.Unlock()
+		attrs := []any{"exp", exp, "run", p.Label, "insts", p.Instructions}
+		if p.Pct >= 0 {
+			attrs = append(attrs, "pct", fmt.Sprintf("%.0f%%", p.Pct*100))
+		}
+		if p.IntervalIPC > 0 {
+			attrs = append(attrs, "interval_ipc", fmt.Sprintf("%.3f", p.IntervalIPC))
+		}
+		if p.EtaSeconds > 0 {
+			attrs = append(attrs, "eta", (time.Duration(p.EtaSeconds * float64(time.Second))).Round(100*time.Millisecond))
+		}
+		logger.Info("simulation progress", attrs...)
+	}
+}
+
 func main() {
 	var (
 		exps     = flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
@@ -63,6 +101,7 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "experiments to run concurrently (simulation parallelism is bounded by the shared scheduler pool)")
 		out      = flag.String("out", "", "write results to this file instead of stdout")
 		telAddr  = flag.String("telemetry", "", "serve live telemetry (/metrics, /runs, /events, /healthz) on this host:port while the study runs")
+		progress = flag.Bool("progress", false, "log live simulation progress and suite-level ETA to stderr (rendered output is unaffected)")
 		traceOut = flag.String("trace-out", "", "write the orchestration timeline (Perfetto-loadable Chrome trace) to this file")
 		storeDir = flag.String("store", "", "persistent result store directory: completed runs are written as checksummed blobs and reused across invocations")
 		list     = flag.Bool("list", false, "list experiments, then exit")
@@ -159,7 +198,11 @@ func main() {
 			sp := hub.ExperimentStart(name)
 			logger.Info("experiment started", "exp", name)
 			t0 := time.Now()
-			rep, err := carf.RunExperimentReport(name, carf.ExperimentOptions{Ctx: ctx, Scale: *scale})
+			opt := carf.ExperimentOptions{Ctx: ctx, Scale: *scale}
+			if *progress {
+				opt.OnProgress = progressLogger(logger, name)
+			}
+			rep, err := carf.RunExperimentReport(name, opt)
 			elapsed := time.Since(t0)
 			hub.ExperimentEnd(name, sp, elapsed, err)
 			if err == nil {
@@ -193,6 +236,15 @@ func main() {
 		completed++
 		fmt.Fprintf(w, "== %s: %s (%.1fs)\n\n%s\n", name, carf.DescribeExperiment(name),
 			r.elapsed.Seconds(), r.rep.Text)
+		if *progress {
+			if remaining := len(names) - completed; remaining > 0 {
+				avg := time.Since(start) / time.Duration(completed)
+				logger.Info("study progress",
+					"completed", completed, "total", len(names),
+					"pct", fmt.Sprintf("%.0f%%", 100*float64(completed)/float64(len(names))),
+					"eta", (avg * time.Duration(remaining)).Round(time.Second))
+			}
+		}
 	}
 
 	if exitCode == 0 {

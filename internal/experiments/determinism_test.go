@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"testing"
 
 	"carf/internal/harden"
@@ -134,5 +135,64 @@ func TestRunKeySeparation(t *testing.T) {
 	par.Sched = sched.New(2)
 	if runKey("sim", par, "qsort", "baseline", cfg) != runKey("sim", base, "qsort", "baseline", cfg) {
 		t.Error("Parallel/Sched changed the memoization key; identical runs would not share")
+	}
+}
+
+// TestProgressObservationDeterminism extends the correctness gate to
+// the progress plane: rendered output must be byte-identical with a
+// progress callback attached or not, frames must be monotonic per run,
+// and memo-off/memo-on observation must agree. Run keys digest the same
+// inputs either way (the hook is installed out-of-band), so a cache
+// populated by an unobserved run serves an observed one.
+func TestProgressObservationDeterminism(t *testing.T) {
+	const name = "table2"
+	want := render(t, name, Options{Scale: determinismScale, Sched: sched.New(4)})
+
+	s := sched.New(4)
+	s.SetProgressInterval(0)
+	var mu sync.Mutex
+	frames := map[string][]sched.Progress{}
+	got := render(t, name, Options{Scale: determinismScale, Sched: s,
+		OnProgress: func(label string, p sched.Progress) {
+			mu.Lock()
+			frames[label] = append(frames[label], p)
+			mu.Unlock()
+		}})
+	if got != want {
+		t.Errorf("observed run differs from unobserved run:\n--- unobserved ---\n%s\n--- observed ---\n%s", want, got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(frames) == 0 {
+		t.Fatal("no progress frames from a cold observed run")
+	}
+	for label, ps := range frames {
+		if !ps[len(ps)-1].Final {
+			t.Errorf("%s: last frame not Final", label)
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Insts < ps[i-1].Insts || ps[i].Cycles < ps[i-1].Cycles {
+				t.Errorf("%s: frame %d not monotonic", label, i)
+				break
+			}
+		}
+		for i, p := range ps {
+			if p.Target == 0 {
+				t.Errorf("%s: frame %d missing target (budget pre-run not engaged)", label, i)
+				break
+			}
+		}
+	}
+
+	// Warm pass: everything is memoized, so observation produces no
+	// frames — and the rendered output still matches.
+	var warmFrames int
+	warm := render(t, name, Options{Scale: determinismScale, Sched: s,
+		OnProgress: func(string, sched.Progress) { mu.Lock(); warmFrames++; mu.Unlock() }})
+	if warm != want {
+		t.Errorf("warm observed run differs from unobserved run")
+	}
+	if warmFrames != 0 {
+		t.Errorf("warm (all-hit) run produced %d progress frames, want 0", warmFrames)
 	}
 }

@@ -60,6 +60,14 @@ type Options struct {
 	// per experiment even when many run concurrently. Run installs one
 	// automatically and reports it in Result.Sched.
 	Tally *sched.Tally
+	// OnProgress, when non-nil, receives live progress frames from every
+	// simulation this experiment actually executes (cache hits and joins
+	// produce none — they do no work). label identifies the run the same
+	// way the telemetry run table does. The callback must be safe for
+	// concurrent use: parallel simulations report concurrently. Progress
+	// is strictly observational — it never participates in run keys and
+	// never changes rendered output.
+	OnProgress func(label string, p sched.Progress)
 }
 
 func (o Options) withDefaults() Options {
@@ -230,7 +238,7 @@ func runKey(kind string, opt Options, kernel string, specID string, cfg pipeline
 // sampler attached. It is the scheduler-job body shared by every
 // harvesting path; callers go through runOneCfg (or a sibling wrapper)
 // so the run is pooled and memoized.
-func simulate(ctx context.Context, k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pipeline.LiveSampler, period int) (runOut, error) {
+func simulate(ctx context.Context, k workload.Kernel, spec modelSpec, cfg pipeline.Config, sampler pipeline.LiveSampler, period int, report sched.ProgressFunc) (runOut, error) {
 	model := spec.new()
 	cpu := pipeline.New(cfg, k.Prog, model)
 	if sampler != nil {
@@ -241,6 +249,12 @@ func simulate(ctx context.Context, k workload.Kernel, spec modelSpec, cfg pipeli
 		// Installed out-of-band (not via Config) so cache keys, which
 		// digest Config by value, stay context-free.
 		cpu.SetInterrupt(ctx.Err)
+	}
+	if report != nil {
+		// Live progress, also out-of-band for the same reason: the hook
+		// never appears in Config, so run keys are byte-identical with
+		// observation on or off.
+		cpu.SetProgress(func(pp pipeline.Progress) { report(toSchedProgress(pp)) })
 	}
 	st, err := cpu.Run()
 	if err != nil {
@@ -263,6 +277,35 @@ func runOne(k workload.Kernel, spec modelSpec, opt Options) (runOut, error) {
 	return runOneCfg(k, spec, pipeline.DefaultConfig(), opt)
 }
 
+// toSchedProgress converts the simulator's progress snapshot to the
+// scheduler's frame shape (the scheduler stamps the wall-clock fields).
+func toSchedProgress(p pipeline.Progress) sched.Progress {
+	return sched.Progress{
+		Cycles:         p.Cycles,
+		Insts:          p.Instructions,
+		IntervalCycles: p.IntervalCycles,
+		IntervalInsts:  p.IntervalInstructions,
+		IntervalIPC:    p.IntervalIPC,
+		ROB:            p.ROB,
+		IntIQ:          p.IntIQ,
+		FPIQ:           p.FPIQ,
+		LSQ:            p.LSQ,
+		Writes:         p.Writes,
+		Final:          p.Final,
+	}
+}
+
+// progressTarget returns the kernel's dynamic instruction budget for
+// ETA math, or 0 when nobody is watching — the budget comes from a
+// (memoized) functional pre-run, a cost worth paying only when an
+// observer or progress callback will consume the ETA.
+func progressTarget(opt Options, k workload.Kernel) uint64 {
+	if !opt.Sched.Observed() && opt.OnProgress == nil {
+		return 0
+	}
+	return workload.Budget(k, opt.Scale)
+}
+
 // runLabel renders the human-readable run description carried to the
 // telemetry plane (span names, /runs rows, log lines). Labels are
 // display-only: the content Key remains the scheduling identity.
@@ -275,9 +318,15 @@ func runLabel(kind, kernel, specID string) string {
 // scheduler: concurrency is bounded by the shared worker pool and the
 // result is memoized by (kernel, scale, model spec, config).
 func runOneCfg(k workload.Kernel, spec modelSpec, cfg pipeline.Config, opt Options) (runOut, error) {
-	v, prov, err := opt.Sched.DoCtx(opt.Ctx, runKey("sim", opt, k.Name, spec.id, cfg),
-		runLabel("sim", k.Name, spec.id), true, func() (any, error) {
-			return simulate(opt.Ctx, k, spec, cfg, nil, 0)
+	label := runLabel("sim", k.Name, spec.id)
+	var onProgress sched.ProgressFunc
+	if opt.OnProgress != nil {
+		onProgress = func(p sched.Progress) { opt.OnProgress(label, p) }
+	}
+	v, prov, err := opt.Sched.DoProgress(opt.Ctx, runKey("sim", opt, k.Name, spec.id, cfg),
+		label, true, progressTarget(opt, k), onProgress,
+		func(report sched.ProgressFunc) (any, error) {
+			return simulate(opt.Ctx, k, spec, cfg, nil, 0, report)
 		})
 	opt.Tally.Record(prov, err)
 	if err != nil {

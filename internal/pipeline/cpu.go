@@ -77,6 +77,13 @@ type CPU struct {
 	model     regfile.Model
 	interrupt func() error
 
+	// progress is the live reporting hook (SetProgress; nil when off —
+	// the fast path). progLastCycles/progLastInsts delimit the interval
+	// window between consecutive reports.
+	progress       func(Progress)
+	progLastCycles uint64
+	progLastInsts  uint64
+
 	hier   *cache.Hierarchy
 	gshare *predictor.Gshare
 	btb    *predictor.BTB
@@ -393,6 +400,9 @@ func (c *CPU) Run() (Stats, error) {
 				return c.stats, fmt.Errorf("pipeline: run interrupted at cycle %d: %w", c.stats.Cycles, err)
 			}
 		}
+		if c.progress != nil && c.stats.Cycles&progressMask == 0 {
+			c.reportProgress(false)
+		}
 		if watchdog {
 			if stalled, tripped := c.hard.wd.Observe(c.stats.Cycles, c.stats.Instructions); tripped {
 				return c.stats, &harden.DeadlockError{
@@ -418,6 +428,9 @@ func (c *CPU) Run() (Stats, error) {
 	}
 	if c.msampler != nil {
 		c.msampler.Final(c.stats.Cycles)
+	}
+	if c.progress != nil {
+		c.reportProgress(true)
 	}
 	// Internal faults (double frees) are recorded instead of panicking;
 	// a run that accumulated any did not execute correctly.

@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"testing"
+
+	"carf/internal/core"
+	"carf/internal/workload"
+)
+
+// TestProgressFrames runs a kernel with the progress hook installed and
+// checks the frame stream's invariants: monotonic totals, interval
+// deltas that sum back to the totals, and a single Final frame whose
+// totals equal the returned Stats.
+func TestProgressFrames(t *testing.T) {
+	k, err := workload.ByName("qsort", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.New(core.DefaultParams())
+	cpu := New(DefaultConfig(), k.Prog, model)
+
+	var frames []Progress
+	cpu.SetProgress(func(p Progress) { frames = append(frames, p) })
+	st, err := cpu.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(frames) < 2 {
+		t.Fatalf("only %d progress frames for a %d-cycle run (mask %d)", len(frames), st.Cycles, progressMask)
+	}
+	var sumIC, sumII uint64
+	for i, p := range frames {
+		if i > 0 {
+			prev := frames[i-1]
+			if p.Cycles < prev.Cycles || p.Instructions < prev.Instructions {
+				t.Fatalf("frame %d not monotonic: %d/%d cycles, %d/%d insts",
+					i, prev.Cycles, p.Cycles, prev.Instructions, p.Instructions)
+			}
+			if p.IntervalCycles != p.Cycles-prev.Cycles {
+				t.Fatalf("frame %d interval cycles %d, want %d", i, p.IntervalCycles, p.Cycles-prev.Cycles)
+			}
+			if p.IntervalInstructions != p.Instructions-prev.Instructions {
+				t.Fatalf("frame %d interval insts %d, want %d", i, p.IntervalInstructions, p.Instructions-prev.Instructions)
+			}
+		}
+		sumIC += p.IntervalCycles
+		sumII += p.IntervalInstructions
+		if p.Final != (i == len(frames)-1) {
+			t.Fatalf("frame %d Final=%v at position %d/%d", i, p.Final, i, len(frames)-1)
+		}
+		if p.ROB < 0 || p.IntIQ < 0 || p.FPIQ < 0 || p.LSQ < 0 {
+			t.Fatalf("frame %d has negative occupancy: %+v", i, p)
+		}
+	}
+	final := frames[len(frames)-1]
+	if final.Cycles != st.Cycles || final.Instructions != st.Instructions {
+		t.Errorf("final frame %d cycles / %d insts, Stats %d / %d",
+			final.Cycles, final.Instructions, st.Cycles, st.Instructions)
+	}
+	if sumIC != st.Cycles || sumII != st.Instructions {
+		t.Errorf("interval deltas sum to %d cycles / %d insts, Stats %d / %d",
+			sumIC, sumII, st.Cycles, st.Instructions)
+	}
+	// The write mix covers the model's sub-files cumulatively; the final
+	// frame must match the model's own activity report.
+	for i, f := range model.Files() {
+		if i >= len(final.Writes) {
+			break
+		}
+		if final.Writes[i] != f.Writes {
+			t.Errorf("final frame writes[%d] = %d, model reports %d", i, final.Writes[i], f.Writes)
+		}
+	}
+}
+
+// TestProgressObservationIsFree verifies the key invariant of the
+// progress plane: a run's statistics are bit-identical with the hook
+// installed or not, so memoized results are safe to share across
+// observed and unobserved callers.
+func TestProgressObservationIsFree(t *testing.T) {
+	k, err := workload.ByName("crc64", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(hook bool) Stats {
+		cpu := New(DefaultConfig(), k.Prog, core.New(core.DefaultParams()))
+		if hook {
+			cpu.SetProgress(func(Progress) {})
+		}
+		st, err := cpu.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain, observed := run(false), run(true)
+	if plain != observed {
+		t.Errorf("stats differ with progress hook installed:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+}

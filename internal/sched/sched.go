@@ -149,16 +149,20 @@ func (st Stats) Delta(prev Stats) Stats {
 // Observer receives run lifecycle callbacks from a scheduler: every Do
 // call announces itself once on entry (RunEnqueued), misses additionally
 // report worker-slot acquisition (RunStarted), and every call reports
-// its outcome on exit (RunFinished). Callbacks run on the requesting
-// goroutine, outside the scheduler lock, so an observer may call Stats
-// or Metrics — but must return quickly and must not call Do. The id is
-// unique per scheduler and strictly increasing in enqueue order; for one
-// id the callbacks are ordered (enqueued happens-before started
-// happens-before finished), while callbacks for different ids interleave
-// arbitrarily. The telemetry hub is the canonical implementation.
+// its outcome on exit (RunFinished). Executing DoProgress runs
+// additionally stream RunProgressed frames between RunStarted and
+// RunFinished (throttled; see SetProgressInterval). Callbacks run on
+// the requesting goroutine, outside the scheduler lock, so an observer
+// may call Stats or Metrics — but must return quickly and must not call
+// Do. The id is unique per scheduler and strictly increasing in enqueue
+// order; for one id the callbacks are ordered (enqueued happens-before
+// started happens-before each progressed happens-before finished),
+// while callbacks for different ids interleave arbitrarily. The
+// telemetry hub is the canonical implementation.
 type Observer interface {
 	RunEnqueued(id uint64, key Key, label string)
 	RunStarted(id uint64)
+	RunProgressed(id uint64, p Progress)
 	RunFinished(id uint64, p Provenance, err error)
 }
 
@@ -268,6 +272,10 @@ type Scheduler struct {
 
 	obs Observer // nil when no telemetry is attached
 
+	// progressEvery is the minimum wall-clock gap between forwarded
+	// progress frames per run, in nanoseconds (SetProgressInterval).
+	progressEvery atomic.Int64
+
 	reg       *metrics.Registry
 	queueHist *metrics.SyncHistogram // per-miss queue wait, seconds
 	simHist   *metrics.SyncHistogram // per-miss simulation wall, seconds
@@ -297,6 +305,7 @@ func New(workers int) *Scheduler {
 		lruPos:   make(map[Key]*list.Element),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.progressEvery.Store(int64(DefaultProgressInterval))
 	s.reg = metrics.NewRegistry()
 	snap := func(f func(Stats) float64) func() float64 {
 		return func() float64 { return f(s.Stats()) }
@@ -331,6 +340,15 @@ func (s *Scheduler) SetObserver(o Observer) {
 	s.mu.Lock()
 	s.obs = o
 	s.mu.Unlock()
+}
+
+// Observed reports whether a lifecycle observer is attached. Callers
+// use it to skip progress-only work (instruction-budget computation,
+// hook installation) when nobody is watching.
+func (s *Scheduler) Observed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs != nil
 }
 
 // SetTier attaches (or, with nil, detaches) the persistent result tier.
@@ -485,6 +503,24 @@ func (s *Scheduler) Do(key Key, label string, cacheable bool, fn func() (any, er
 // fn must not call Do on the same scheduler (a saturated pool of
 // parent runs waiting on child runs would deadlock).
 func (s *Scheduler) DoCtx(ctx context.Context, key Key, label string, cacheable bool, fn func() (any, error)) (any, Provenance, error) {
+	return s.DoProgress(ctx, key, label, cacheable, 0, nil, func(ProgressFunc) (any, error) { return fn() })
+}
+
+// DoProgress is DoCtx for runs that can report live progress. fn
+// receives a report function to call with in-flight Progress snapshots;
+// the scheduler stamps each forwarded frame with the wall-clock rate
+// and an ETA derived from target (the run's known dynamic-instruction
+// budget; 0 = unknown, frames then carry no ETA), throttles non-final
+// frames to one per SetProgressInterval, and fans the result out to the
+// attached Observer (RunProgressed) and to onProgress. Both are
+// optional; when neither is attached fn receives a nil report and the
+// call is exactly DoCtx — callers guard their hook installation on
+// report != nil, so a silent run pays nothing.
+//
+// Progress frames are leader-only: hits, disk hits, and joiners resolve
+// without frames (their provenance says why). onProgress runs on the
+// simulating goroutine and must return quickly.
+func (s *Scheduler) DoProgress(ctx context.Context, key Key, label string, cacheable bool, target uint64, onProgress ProgressFunc, fn func(report ProgressFunc) (any, error)) (any, Provenance, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		// Dead on arrival: account for the request, touch nothing else.
@@ -622,7 +658,11 @@ func (s *Scheduler) DoCtx(ctx context.Context, key Key, label string, cacheable 
 	}
 
 	simStart := time.Now()
-	e.val, e.err = fn()
+	var report ProgressFunc
+	if obs != nil || onProgress != nil {
+		report = s.reporter(id, target, obs, onProgress, simStart)
+	}
+	e.val, e.err = fn(report)
 	simWall := time.Since(simStart)
 	s.simHist.Observe(simWall.Seconds())
 

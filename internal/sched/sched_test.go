@@ -274,14 +274,18 @@ func TestGlobalIsSingleton(t *testing.T) {
 
 // recObserver records lifecycle callbacks for assertions.
 type recObserver struct {
-	mu       sync.Mutex
-	enqueued []string // "id:label"
-	started  []uint64
-	finished map[uint64]Provenance
+	mu         sync.Mutex
+	enqueued   []string // "id:label"
+	started    []uint64
+	progressed map[uint64][]Progress
+	finished   map[uint64]Provenance
 }
 
 func newRecObserver() *recObserver {
-	return &recObserver{finished: map[uint64]Provenance{}}
+	return &recObserver{
+		progressed: map[uint64][]Progress{},
+		finished:   map[uint64]Provenance{},
+	}
 }
 
 func (o *recObserver) RunEnqueued(id uint64, key Key, label string) {
@@ -294,6 +298,12 @@ func (o *recObserver) RunStarted(id uint64) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.started = append(o.started, id)
+}
+
+func (o *recObserver) RunProgressed(id uint64, p Progress) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.progressed[id] = append(o.progressed[id], p)
 }
 
 func (o *recObserver) RunFinished(id uint64, p Provenance, err error) {

@@ -170,8 +170,14 @@ type Job struct {
 	// Misses == 0 is the "served from the persistent tier" provenance.
 	Sched *jobSched `json:"sched,omitempty"`
 
+	// Progress is the most recent live progress snapshot while the job's
+	// simulations execute (absent before the first frame, and for jobs
+	// served entirely from caches — they do no simulation work).
+	Progress *JobProgress `json:"progress,omitempty"`
+
 	result string             // rendered output, available when done
 	cancel context.CancelFunc // cancels this job's context
+	stream *jobStream         // per-job progress frame stream
 }
 
 // jobSched is the per-job scheduler summary in API responses.
@@ -303,6 +309,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/runs", d.list)
 	mux.HandleFunc("GET /api/v1/runs/{id}", d.status)
 	mux.HandleFunc("GET /api/v1/runs/{id}/result", d.result)
+	mux.HandleFunc("GET /api/v1/runs/{id}/stream", d.stream)
 	mux.HandleFunc("DELETE /api/v1/runs/{id}", d.cancelJob)
 	mux.Handle("/", d.tsv.Handler())
 	return mux
@@ -462,6 +469,7 @@ func (d *Daemon) submit(w http.ResponseWriter, r *http.Request) {
 		Spec:      req,
 		Status:    StatusQueued,
 		Submitted: time.Now(),
+		stream:    newJobStream(),
 	}
 	ctx, cancel := context.WithTimeout(d.base, d.opt.JobTimeout)
 	j.cancel = cancel
@@ -547,6 +555,42 @@ func (d *Daemon) finish(j *Job, text string, st sched.Stats, err error) {
 	}
 	d.log.Info("serve: job finished", "id", j.ID, "status", j.Status,
 		"disk_hits", j.Sched.DiskHits, "simulated", j.Sched.Misses, "err", j.Error)
+
+	// Terminate the job's progress stream with a done frame. Jobs served
+	// entirely without simulating never produced progress frames; their
+	// single done frame says why, so a watcher sees provenance, not
+	// silence.
+	frame := JobStreamFrame{Type: "done", ID: j.ID, Status: j.Status, Err: j.Error}
+	if st.Misses == 0 && st.Runs > 0 {
+		switch {
+		case st.DiskHits > 0:
+			frame.Note = "served from the persistent tier (disk hit) — no simulation ran, no progress frames"
+		case st.Hits > 0:
+			frame.Note = "served from the in-memory cache — no simulation ran, no progress frames"
+		case st.Joins > 0:
+			frame.Note = "joined an identical in-flight run — progress was reported on the leader's stream"
+		}
+	}
+	if payload, merr := json.Marshal(frame); merr == nil {
+		j.stream.finish(payload)
+	} else {
+		j.stream.finish([]byte(`{"type":"done"}`))
+	}
+}
+
+// jobProgress records a job's latest progress snapshot and publishes a
+// stream frame. Called from simulating goroutines (already throttled by
+// the scheduler's reporter).
+func (d *Daemon) jobProgress(j *Job, label string, p sched.Progress) {
+	jp := toJobProgress(label, p)
+	d.mu.Lock()
+	if j.Finished == nil {
+		j.Progress = jp
+	}
+	d.mu.Unlock()
+	if payload, err := json.Marshal(JobStreamFrame{Type: "progress", ID: j.ID, Progress: jp}); err == nil {
+		j.stream.publish(payload)
+	}
 }
 
 // runJob is the real execution body: experiments through the
@@ -561,6 +605,9 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) (string, sched.Stats, error
 			Scale: j.Spec.Scale,
 			Sched: d.sch,
 			Tally: tally,
+			OnProgress: func(label string, p sched.Progress) {
+				d.jobProgress(j, label, p)
+			},
 		})
 		if err != nil {
 			return "", tally.Stats(), err
@@ -580,13 +627,30 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) (string, sched.Stats, error
 		// data.
 		key := sched.KeyOf("serve-kernel", j.Spec.Kernel, cfg)
 		label := "serve/" + j.Spec.Kernel
-		v, prov, err := d.sch.DoCtx(ctx, key, label, true, func() (any, error) {
-			r, err := carf.RunCtx(ctx, j.Spec.Kernel, cfg)
-			if err != nil {
-				return nil, err
-			}
-			return toKernelResult(r), nil
-		})
+		v, prov, err := d.sch.DoProgress(ctx, key, label, true, 0,
+			func(p sched.Progress) { d.jobProgress(j, label, p) },
+			func(report sched.ProgressFunc) (any, error) {
+				var on func(carf.Progress)
+				if report != nil {
+					// carf computes the kernel's own target; forward it so
+					// the scheduler's reporter keeps it (it only stamps a
+					// target when the frame has none).
+					on = func(cp carf.Progress) {
+						report(sched.Progress{
+							Cycles:      cp.Cycles,
+							Insts:       cp.Instructions,
+							Target:      cp.Target,
+							IntervalIPC: cp.IntervalIPC,
+							Final:       cp.Final,
+						})
+					}
+				}
+				r, err := carf.RunCtxProgress(ctx, j.Spec.Kernel, cfg, on)
+				if err != nil {
+					return nil, err
+				}
+				return toKernelResult(r), nil
+			})
 		tally.Record(prov, err)
 		if err != nil {
 			return "", tally.Stats(), err
@@ -611,14 +675,26 @@ func (d *Daemon) snapshot(id string) (Job, string, bool) {
 	if !ok {
 		return Job{}, "", false
 	}
-	return *j, j.result, true
+	return copyJob(j), j.result, true
+}
+
+// copyJob snapshots a job for JSON encoding outside d.mu; Progress is
+// deep-copied because jobProgress replaces it concurrently. Callers
+// hold d.mu.
+func copyJob(j *Job) Job {
+	cp := *j
+	if j.Progress != nil {
+		p := *j.Progress
+		cp.Progress = &p
+	}
+	return cp
 }
 
 func (d *Daemon) list(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	out := make([]Job, 0, len(d.order))
 	for _, id := range d.order {
-		out = append(out, *d.jobs[id])
+		out = append(out, copyJob(d.jobs[id]))
 	}
 	d.mu.Unlock()
 	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })

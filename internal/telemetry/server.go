@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,7 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", sv.metrics)
 	mux.HandleFunc("/healthz", sv.healthz)
 	mux.HandleFunc("/runs", sv.runs)
+	mux.HandleFunc("/runs/{id}/stream", sv.runStream)
 	mux.HandleFunc("/events", sv.eventsSSE)
 	return mux
 }
@@ -113,7 +115,7 @@ func (sv *Server) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "carf telemetry\n\n/metrics  Prometheus text exposition\n/healthz  liveness\n/runs     live run table (JSON)\n/events   run lifecycle stream (SSE)\n")
+	fmt.Fprint(w, "carf telemetry\n\n/metrics            Prometheus text exposition\n/healthz            liveness\n/runs               live run table (JSON)\n/runs/{id}/stream   one run's progress frames (SSE)\n/events             run lifecycle + progress stream (SSE)\n")
 }
 
 func (sv *Server) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -146,16 +148,10 @@ func (sv *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
-	inflight, completedTotal, events, dropped, subs := sv.hub.counts()
-	meta := []metrics.Reading{
-		{Name: "telemetry.runs_inflight", Kind: metrics.ReadGauge, Value: float64(inflight)},
-		{Name: "telemetry.runs_completed_total", Kind: metrics.ReadCounter, Value: float64(completedTotal)},
-		{Name: "telemetry.events_published_total", Kind: metrics.ReadCounter, Value: float64(events)},
-		{Name: "telemetry.events_dropped_total", Kind: metrics.ReadCounter, Value: float64(dropped)},
-		{Name: "telemetry.sse_subscribers", Kind: metrics.ReadGauge, Value: float64(subs)},
-		{Name: "telemetry.uptime_seconds", Kind: metrics.ReadGauge, Value: time.Since(sv.start).Seconds()},
-		{Name: "go.goroutines", Kind: metrics.ReadGauge, Value: float64(runtime.NumGoroutine())},
-	}
+	meta := append(sv.hub.MetaReadings(),
+		metrics.Reading{Name: "telemetry.uptime_seconds", Kind: metrics.ReadGauge, Value: time.Since(sv.start).Seconds()},
+		metrics.Reading{Name: "go.goroutines", Kind: metrics.ReadGauge, Value: float64(runtime.NumGoroutine())},
+	)
 	sv.mu.Lock()
 	extra := sv.extra
 	sv.mu.Unlock()
@@ -165,17 +161,18 @@ func (sv *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	WritePrometheus(w, "carf", meta) //nolint:errcheck // best-effort tail
 }
 
-// runsResponse is the /runs document.
-type runsResponse struct {
-	NowMs          float64     `json:"now_ms"`
-	InFlight       []RunRecord `json:"in_flight"`
-	Completed      []RunRecord `json:"completed"`
-	CompletedTotal uint64      `json:"completed_total"`
-	Sched          *schedStats `json:"sched,omitempty"`
+// RunsDocument is the /runs JSON document. Exported so clients
+// (cmd/carftop) decode the same shape the server encodes.
+type RunsDocument struct {
+	NowMs          float64       `json:"now_ms"`
+	InFlight       []RunRecord   `json:"in_flight"`
+	Completed      []RunRecord   `json:"completed"`
+	CompletedTotal uint64        `json:"completed_total"`
+	Sched          *SchedSummary `json:"sched,omitempty"`
 }
 
-// schedStats is the scheduler summary embedded in /runs.
-type schedStats struct {
+// SchedSummary is the scheduler summary embedded in /runs.
+type SchedSummary struct {
 	Workers          int     `json:"workers"`
 	CacheEntries     int     `json:"cache_entries"`
 	Runs             uint64  `json:"runs"`
@@ -191,7 +188,7 @@ type schedStats struct {
 
 func (sv *Server) runs(w http.ResponseWriter, _ *http.Request) {
 	inflight, completed, total := sv.hub.Runs()
-	resp := runsResponse{
+	resp := RunsDocument{
 		NowMs:          sv.hub.nowMs(),
 		InFlight:       inflight,
 		Completed:      completed,
@@ -199,7 +196,7 @@ func (sv *Server) runs(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s := sv.sch.Load(); s != nil {
 		st := s.Stats()
-		resp.Sched = &schedStats{
+		resp.Sched = &SchedSummary{
 			Workers:          st.Workers,
 			CacheEntries:     st.CacheEntries,
 			Runs:             st.Runs,
@@ -248,7 +245,69 @@ func (sv *Server) eventsSSE(w http.ResponseWriter, r *http.Request) {
 		case <-heartbeat.C:
 			fmt.Fprint(w, ": heartbeat\n\n")
 			fl.Flush()
-		case payload := <-ch:
+		case payload, ok := <-ch:
+			if !ok {
+				// Forcibly disconnected as a slow subscriber: end the
+				// stream so the client learns it fell behind.
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+			fl.Flush()
+		}
+	}
+}
+
+// runStream streams one run's progress frames as SSE: the retained
+// history first (so a late subscriber still sees recent interval
+// samples), then live frames until the terminal "done" frame, which
+// always closes the stream. A run that was served without simulating
+// (cache hit, disk hit) replays a single done frame whose note says so.
+func (sv *Server) runStream(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad run id", http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	replay, ch, cancel, ok := sv.hub.SubscribeRun(id)
+	if !ok {
+		http.Error(w, "no such run (or its stream aged out)", http.StatusNotFound)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	for _, payload := range replay {
+		fmt.Fprintf(w, "data: %s\n\n", payload)
+	}
+	fl.Flush()
+	if ch == nil {
+		// Finished run: the replay ended with the terminal frame.
+		return
+	}
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		case payload, ok := <-ch:
+			if !ok {
+				// Run finished: the channel closed; emit the terminal frame.
+				if t, ok := sv.hub.RunTerminal(id); ok {
+					fmt.Fprintf(w, "data: %s\n\n", t)
+					fl.Flush()
+				}
+				return
+			}
 			fmt.Fprintf(w, "data: %s\n\n", payload)
 			fl.Flush()
 		}

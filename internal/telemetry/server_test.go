@@ -80,7 +80,7 @@ func TestServerRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var doc runsResponse
+	var doc RunsDocument
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		t.Fatal(err)
 	}

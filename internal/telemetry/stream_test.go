@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"carf/internal/sched"
+)
+
+// readSSEFrames decodes data: lines from an SSE body into StreamFrames
+// until the stream ends or n frames arrive (n <= 0 reads to EOF).
+func readSSEFrames(t *testing.T, r *bufio.Reader, n int) []StreamFrame {
+	t.Helper()
+	var out []StreamFrame
+	for n <= 0 || len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return out
+		}
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var f StreamFrame
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestRunStreamLiveThenTerminal subscribes to an in-flight run's
+// stream, sees mid-run progress frames with interval payloads, then the
+// terminal done frame when the run completes, after which the stream
+// ends.
+func TestRunStreamLiveThenTerminal(t *testing.T) {
+	hub := NewHub()
+	s := sched.New(2)
+	s.SetObserver(hub)
+	s.SetProgressInterval(0)
+	sv := NewServer(hub, s)
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+
+	reported := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.DoProgress(context.Background(), sched.KeyOf("stream-live"), "sim/qsort/carf", true, 1000, nil,
+			func(report sched.ProgressFunc) (any, error) {
+				report(sched.Progress{Cycles: 1000, Insts: 250, IntervalCycles: 1000, IntervalInsts: 250, IntervalIPC: 0.25})
+				report(sched.Progress{Cycles: 2000, Insts: 500, IntervalCycles: 1000, IntervalInsts: 250, IntervalIPC: 0.25})
+				close(reported)
+				<-release
+				report(sched.Progress{Cycles: 4000, Insts: 1000, Final: true})
+				return 42, nil
+			})
+		done <- err
+	}()
+	<-reported
+
+	// The in-flight run's id comes from the live run table.
+	inflight, _, _ := hub.Runs()
+	if len(inflight) != 1 {
+		t.Fatalf("in-flight runs = %d, want 1", len(inflight))
+	}
+	id := inflight[0].ID
+
+	resp, err := srv.Client().Get(srv.URL + fmt.Sprintf("/runs/%d/stream", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	replayed := readSSEFrames(t, br, 2)
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d frames, want the 2 already-reported ones", len(replayed))
+	}
+	for i, f := range replayed {
+		if f.Type != "progress" || f.ID != id || f.Progress == nil {
+			t.Fatalf("replay frame %d = %+v, want a progress frame for run %d", i, f, id)
+		}
+		if f.Progress.IntervalCycles != 1000 || f.Progress.IntervalIPC != 0.25 {
+			t.Errorf("replay frame %d interval payload = %+v", i, f.Progress)
+		}
+		if f.Progress.Target != 1000 {
+			t.Errorf("replay frame %d target = %d, want the stamped 1000", i, f.Progress.Target)
+		}
+	}
+	if replayed[1].Progress.Insts <= replayed[0].Progress.Insts {
+		t.Errorf("frames not monotonic: %d then %d", replayed[0].Progress.Insts, replayed[1].Progress.Insts)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Following live: the final progress frame, then the terminal frame.
+	rest := readSSEFrames(t, br, 0) // reads until the handler closes the stream
+	if len(rest) < 2 {
+		t.Fatalf("followed %d frames after release, want final progress + done: %+v", len(rest), rest)
+	}
+	last := rest[len(rest)-1]
+	if last.Type != "done" || last.Outcome != "miss" || last.Note != "" {
+		t.Errorf("terminal frame = %+v, want a done frame for a simulated run with no provenance note", last)
+	}
+	prev := rest[len(rest)-2]
+	if prev.Type != "progress" || !prev.Progress.Final {
+		t.Errorf("penultimate frame = %+v, want the Final progress frame", prev)
+	}
+}
+
+// TestRunStreamFinishedReplay: a finished run's stream replays retained
+// frames ending with the terminal frame and closes immediately.
+func TestRunStreamFinishedReplay(t *testing.T) {
+	hub := NewHub()
+	s := sched.New(2)
+	s.SetObserver(hub)
+	s.SetProgressInterval(0)
+	sv := NewServer(hub, s)
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+
+	if _, _, err := s.DoProgress(context.Background(), sched.KeyOf("stream-done"), "sim/crc64/carf", true, 0, nil,
+		func(report sched.ProgressFunc) (any, error) {
+			report(sched.Progress{Cycles: 10, Insts: 5})
+			report(sched.Progress{Cycles: 20, Insts: 10, Final: true})
+			return 1, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	_, completed, _ := hub.Runs()
+	if len(completed) != 1 {
+		t.Fatalf("completed = %d, want 1", len(completed))
+	}
+	id := completed[0].ID
+
+	resp, err := srv.Client().Get(srv.URL + fmt.Sprintf("/runs/%d/stream", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := readSSEFrames(t, bufio.NewReader(resp.Body), 0)
+	if len(frames) != 3 {
+		t.Fatalf("replayed %d frames, want 2 progress + done: %+v", len(frames), frames)
+	}
+	if frames[2].Type != "done" || frames[2].Outcome != "miss" {
+		t.Errorf("terminal frame = %+v", frames[2])
+	}
+}
+
+// TestRunStreamHitProvenance: a run served from cache streams exactly
+// one done frame whose note explains that no simulation ran.
+func TestRunStreamHitProvenance(t *testing.T) {
+	hub := NewHub()
+	s := sched.New(2)
+	s.SetObserver(hub)
+	sv := NewServer(hub, s)
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+
+	body := func() (any, error) { return 7, nil }
+	key := sched.KeyOf("stream-hit")
+	for i := 0; i < 2; i++ { // miss, then hit
+		if _, _, err := s.Do(key, "sim/bfs/carf", true, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, completed, _ := hub.Runs()
+	if len(completed) != 2 {
+		t.Fatalf("completed = %d, want 2", len(completed))
+	}
+	var hitID uint64
+	found := false
+	for _, r := range completed {
+		if r.Outcome == "hit" {
+			hitID, found = r.ID, true
+		}
+	}
+	if !found {
+		t.Fatalf("no hit run in %+v", completed)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + fmt.Sprintf("/runs/%d/stream", hitID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := readSSEFrames(t, bufio.NewReader(resp.Body), 0)
+	if len(frames) != 1 {
+		t.Fatalf("hit run streamed %d frames, want exactly 1: %+v", len(frames), frames)
+	}
+	f := frames[0]
+	if f.Type != "done" || f.Outcome != "hit" || !strings.Contains(f.Note, "cache") {
+		t.Errorf("hit terminal frame = %+v, want a done frame with a cache provenance note", f)
+	}
+}
+
+// TestRunStreamUnknownID is a 404, not a hang.
+func TestRunStreamUnknownID(t *testing.T) {
+	sv := NewServer(NewHub(), nil)
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/runs/999/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSlowSubscriberDisconnect: a subscriber that stops reading is
+// dropped-counted and, after maxConsecDrops consecutive misses,
+// force-closed; the aggregate disconnect counter records it.
+func TestSlowSubscriberDisconnect(t *testing.T) {
+	hub := NewHub()
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+
+	// Fill the buffer, then keep publishing without draining until the
+	// policy trips.
+	total := 256 + maxConsecDrops
+	for i := 0; i < total; i++ {
+		hub.publish(Event{Type: "run-start", ID: uint64(i)})
+	}
+
+	closed := false
+	deadline := time.After(2 * time.Second)
+drain:
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				closed = true
+				break drain
+			}
+		case <-deadline:
+			break drain
+		}
+	}
+	if !closed {
+		t.Fatal("slow subscriber's channel was never closed")
+	}
+
+	var disconnects, dropped, subs float64
+	subs = -1
+	for _, r := range hub.MetaReadings() {
+		switch r.Name {
+		case "telemetry.sse_slow_disconnects_total":
+			disconnects = r.Value
+		case "telemetry.events_dropped_total":
+			dropped = r.Value
+		case "telemetry.sse_subscribers":
+			subs = r.Value
+		}
+	}
+	if disconnects != 1 {
+		t.Errorf("slow disconnects = %v, want 1", disconnects)
+	}
+	if dropped < float64(maxConsecDrops) {
+		t.Errorf("dropped = %v, want >= %d", dropped, maxConsecDrops)
+	}
+	if subs != 0 {
+		t.Errorf("subscribers = %v, want 0 after the forced disconnect", subs)
+	}
+
+	// A healthy subscriber keeps its per-subscriber drop counter at 0
+	// and stays connected.
+	ch2, cancel2 := hub.Subscribe()
+	defer cancel2()
+	hub.publish(Event{Type: "run-start", ID: 1})
+	select {
+	case <-ch2:
+	case <-time.After(time.Second):
+		t.Fatal("healthy subscriber did not receive the event")
+	}
+	persub := -1.0
+	for _, r := range hub.MetaReadings() {
+		if strings.HasPrefix(r.Name, "telemetry.sse.sub") {
+			persub = r.Value
+		}
+	}
+	if persub != 0 {
+		t.Errorf("healthy subscriber's drop counter = %v, want 0", persub)
+	}
+}

@@ -25,17 +25,26 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"sync"
 	"time"
 
+	"carf/internal/metrics"
 	"carf/internal/sched"
 )
 
 // completedCap bounds the completed-run table served by /runs; older
 // rows fall off (completed_total keeps the true count).
 const completedCap = 512
+
+// maxConsecDrops is the slow-subscriber disconnect threshold: an
+// /events client that fails to drain its 256-message buffer for this
+// many consecutive publishes is forcibly unsubscribed (its channel is
+// closed) instead of silently losing events forever. Counted in
+// telemetry.sse_slow_disconnects_total.
+const maxConsecDrops = 64
 
 // RunRecord is one scheduler run's row in the /runs table. Times are
 // milliseconds since the hub started; zero-valued times mean the run
@@ -54,16 +63,31 @@ type RunRecord struct {
 	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
 	SimWallMs   float64 `json:"sim_wall_ms,omitempty"`
 	Err         string  `json:"error,omitempty"`
+
+	// Live progress (executing progress-reporting runs only): the
+	// newest frame's totals, completion against the known instruction
+	// budget, interval-window IPC, retirement rate, and ETA.
+	Cycles      uint64  `json:"cycles,omitempty"`
+	Insts       uint64  `json:"insts,omitempty"`
+	Target      uint64  `json:"target,omitempty"`
+	Pct         float64 `json:"pct,omitempty"`
+	IntervalIPC float64 `json:"interval_ipc,omitempty"`
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+	EtaSeconds  float64 `json:"eta_seconds,omitempty"`
 }
 
 // Event is one SSE message on /events: run and experiment lifecycle
-// transitions as they happen.
+// transitions — and, for executing runs, throttled progress frames —
+// as they happen.
 type Event struct {
-	Type  string  `json:"type"` // run-start, run-finish, experiment-start, experiment-finish
+	Type  string  `json:"type"` // run-start, run-progress, run-finish, experiment-start, experiment-finish
 	TMs   float64 `json:"t_ms"` // milliseconds since the hub started
 	ID    uint64  `json:"id,omitempty"`
 	Label string  `json:"label,omitempty"`
 	Key   string  `json:"key,omitempty"`
+
+	// run-progress only: the frame as stamped by the scheduler.
+	Progress *sched.Progress `json:"progress,omitempty"`
 
 	// run-finish / experiment-finish only.
 	Outcome     string  `json:"outcome,omitempty"`
@@ -92,9 +116,26 @@ type Hub struct {
 	inflight       map[uint64]*runState
 	completed      []RunRecord // ring, newest appended; bounded by completedCap
 	completedTotal uint64
-	subs           map[chan []byte]struct{}
-	dropped        uint64 // SSE messages dropped on slow subscribers
-	events         uint64 // SSE messages published
+
+	subs            map[*subscriber]struct{}
+	subSeq          uint64
+	dropped         uint64 // SSE messages dropped on slow subscribers
+	events          uint64 // SSE messages published
+	slowDisconnects uint64 // subscribers force-closed after maxConsecDrops
+
+	// Per-run frame streams (/runs/{id}/stream): every enqueued run gets
+	// one, so hits and disk hits still stream their terminal frame.
+	streams     map[uint64]*runStream
+	streamOrder []uint64 // finished stream ids, oldest first (eviction)
+}
+
+// subscriber is one /events SSE client: its payload channel plus drop
+// accounting for the slow-subscriber disconnect policy.
+type subscriber struct {
+	id      uint64
+	ch      chan []byte
+	dropped uint64 // total messages this subscriber missed
+	consec  int    // consecutive misses (reset on any delivery)
 }
 
 // NewHub returns a hub tracing into a fresh Tracer.
@@ -103,7 +144,8 @@ func NewHub() *Hub {
 		tracer:   NewTracer(),
 		t0:       time.Now(),
 		inflight: map[uint64]*runState{},
-		subs:     map[chan []byte]struct{}{},
+		subs:     map[*subscriber]struct{}{},
+		streams:  map[uint64]*runStream{},
 	}
 }
 
@@ -140,8 +182,40 @@ func (h *Hub) RunEnqueued(id uint64, key sched.Key, label string) {
 		},
 		span: sp,
 	}
+	h.streamOpen(id)
 	h.mu.Unlock()
 	h.publish(Event{Type: "run-start", TMs: h.nowMs(), ID: id, Label: label, Key: key.Short()})
+}
+
+// RunProgressed implements sched.Observer: an executing run reported a
+// progress frame (already throttled by the scheduler). The /runs row
+// updates in place, the frame lands on the run's own stream, and a
+// run-progress event goes out on /events.
+func (h *Hub) RunProgressed(id uint64, p sched.Progress) {
+	h.mu.Lock()
+	st := h.inflight[id]
+	if st == nil {
+		h.mu.Unlock()
+		return
+	}
+	st.rec.Cycles = p.Cycles
+	st.rec.Insts = p.Insts
+	st.rec.Target = p.Target
+	if pct := p.Pct(); pct >= 0 {
+		st.rec.Pct = pct
+	}
+	st.rec.IntervalIPC = p.IntervalIPC
+	st.rec.InstsPerSec = p.InstsPerSec
+	st.rec.EtaSeconds = p.ETASeconds
+	label, key := st.rec.Label, st.rec.Key
+	h.mu.Unlock()
+
+	pp := p
+	h.streamPublish(id, StreamFrame{
+		Type: "progress", TMs: h.nowMs(), ID: id, Label: label, Key: key,
+		Progress: &pp,
+	})
+	h.publish(Event{Type: "run-progress", TMs: h.nowMs(), ID: id, Label: label, Key: key, Progress: &pp})
 }
 
 // RunStarted implements sched.Observer: a miss acquired a worker slot.
@@ -211,6 +285,26 @@ func (h *Hub) RunFinished(id uint64, p sched.Provenance, err error) {
 		QueueWaitMs: st.rec.QueueWaitMs, SimWallMs: st.rec.SimWallMs,
 		Err: st.rec.Err,
 	})
+	h.streamFinish(id, StreamFrame{
+		Type: "done", TMs: h.nowMs(), ID: id,
+		Label: st.rec.Label, Key: st.rec.Key, Outcome: st.rec.Outcome,
+		SimWallMs: st.rec.SimWallMs, Err: st.rec.Err,
+		Note: provenanceNote(p.Outcome),
+	})
+}
+
+// provenanceNote explains a terminal frame with no preceding progress
+// frames: the run was served without (re-)simulating.
+func provenanceNote(o sched.Outcome) string {
+	switch o {
+	case sched.Hit:
+		return "served from the in-memory cache; no simulation ran"
+	case sched.DiskHit:
+		return "served from the persistent disk tier; no simulation ran"
+	case sched.Joined:
+		return "joined an identical in-flight run; see that run's stream"
+	}
+	return ""
 }
 
 // ExperimentStart opens an experiment span and announces it on /events.
@@ -261,21 +355,28 @@ func (h *Hub) Runs() (inflight, completed []RunRecord, total uint64) {
 }
 
 // Subscribe registers an SSE subscriber: a channel of pre-marshalled
-// event payloads. Slow subscribers drop messages (counted) rather than
-// blocking the simulation. Call the returned cancel to unsubscribe.
+// event payloads. A slow subscriber drops messages (counted) rather
+// than blocking the simulation — and after maxConsecDrops consecutive
+// misses it is disconnected outright: removed from the hub and its
+// channel closed, so the serving handler ends the stream instead of
+// carrying a client that stopped reading. Call the returned cancel to
+// unsubscribe (idempotent, safe after a forced disconnect).
 func (h *Hub) Subscribe() (<-chan []byte, func()) {
-	ch := make(chan []byte, 256)
+	sub := &subscriber{ch: make(chan []byte, 256)}
 	h.mu.Lock()
-	h.subs[ch] = struct{}{}
+	h.subSeq++
+	sub.id = h.subSeq
+	h.subs[sub] = struct{}{}
 	h.mu.Unlock()
-	return ch, func() {
+	return sub.ch, func() {
 		h.mu.Lock()
-		delete(h.subs, ch)
+		delete(h.subs, sub)
 		h.mu.Unlock()
 	}
 }
 
-// publish fans one event out to every subscriber without blocking.
+// publish fans one event out to every subscriber without blocking,
+// enforcing the slow-subscriber disconnect policy.
 func (h *Hub) publish(ev Event) {
 	h.mu.Lock()
 	if len(h.subs) == 0 {
@@ -288,11 +389,19 @@ func (h *Hub) publish(ev Event) {
 		return
 	}
 	h.events++
-	for ch := range h.subs {
+	for sub := range h.subs {
 		select {
-		case ch <- payload:
+		case sub.ch <- payload:
+			sub.consec = 0
 		default:
+			sub.dropped++
+			sub.consec++
 			h.dropped++
+			if sub.consec >= maxConsecDrops {
+				delete(h.subs, sub)
+				close(sub.ch)
+				h.slowDisconnects++
+			}
 		}
 	}
 	h.mu.Unlock()
@@ -303,6 +412,32 @@ func (h *Hub) counts() (inflight int, completedTotal, events, dropped uint64, su
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.inflight), h.completedTotal, h.events, h.dropped, len(h.subs)
+}
+
+// MetaReadings reports the hub's meta-metrics as readings for the
+// /metrics exposition: aggregate counters plus one drop counter per
+// live /events subscriber (telemetry.sse.sub<N>.dropped — gone from
+// the scrape once the subscriber disconnects; the aggregates keep the
+// history).
+func (h *Hub) MetaReadings() []metrics.Reading {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := []metrics.Reading{
+		{Name: "telemetry.runs_inflight", Kind: metrics.ReadGauge, Value: float64(len(h.inflight))},
+		{Name: "telemetry.runs_completed_total", Kind: metrics.ReadCounter, Value: float64(h.completedTotal)},
+		{Name: "telemetry.events_published_total", Kind: metrics.ReadCounter, Value: float64(h.events)},
+		{Name: "telemetry.events_dropped_total", Kind: metrics.ReadCounter, Value: float64(h.dropped)},
+		{Name: "telemetry.sse_slow_disconnects_total", Kind: metrics.ReadCounter, Value: float64(h.slowDisconnects)},
+		{Name: "telemetry.sse_subscribers", Kind: metrics.ReadGauge, Value: float64(len(h.subs))},
+		{Name: "telemetry.streams_retained", Kind: metrics.ReadGauge, Value: float64(len(h.streams))},
+	}
+	for sub := range h.subs {
+		out = append(out, metrics.Reading{
+			Name: fmt.Sprintf("telemetry.sse.sub%d.dropped", sub.id),
+			Kind: metrics.ReadCounter, Value: float64(sub.dropped),
+		})
+	}
+	return out
 }
 
 // NewLogger returns the telemetry plane's structured logger: slog text

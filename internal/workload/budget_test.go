@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"testing"
+
+	"carf/internal/vm"
+)
+
+// TestBudgetMatchesFunctionalRun: the memoized budget equals a direct
+// functional execution's dynamic instruction count, scales with the
+// workload scale, and repeated calls are stable.
+func TestBudgetMatchesFunctionalRun(t *testing.T) {
+	k, err := ByName("crc64", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Budget(k, 0.25)
+	if n == 0 {
+		t.Fatal("budget 0 for a well-formed kernel")
+	}
+	if again := Budget(k, 0.25); again != n {
+		t.Errorf("memoized budget changed: %d then %d", n, again)
+	}
+
+	big, err := ByName("crc64", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb := Budget(big, 1.0); nb <= n {
+		t.Errorf("full-scale budget %d not above quarter-scale %d", nb, n)
+	}
+}
+
+// TestBudgetUnknownOnBrokenProgram: a program that fails functionally
+// reports budget 0, never an error — progress is advisory.
+func TestBudgetUnknownOnBrokenProgram(t *testing.T) {
+	k, err := ByName("qsort", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := k
+	broken.Name = "broken-for-budget-test"
+	broken.Prog = &vm.Program{Name: "broken-for-budget-test"}
+	if n := Budget(broken, 0.25); n != 0 {
+		t.Errorf("broken program budget = %d, want 0", n)
+	}
+}
