@@ -20,7 +20,9 @@
 //	carfbench -kernel crc64 -iters 9
 //	carfbench -study -jobs 4         # add the full-study scheduler benchmark
 //	carfbench -study -telemetry 127.0.0.1:9090
+//	carfbench -study -store .carfstore  # persistent result tier under the scheduled phases
 //	carfbench -out BENCH.json
+//	carfbench -compare BENCH_PR5.json  # ratio table; exit 1 on a >10% config regression
 package main
 
 import (
@@ -43,6 +45,7 @@ import (
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
 	"carf/internal/sched"
+	"carf/internal/store"
 	"carf/internal/telemetry"
 	"carf/internal/vm"
 	"carf/internal/workload"
@@ -99,6 +102,7 @@ type schedCounters struct {
 	Misses           uint64  `json:"misses"`
 	Hits             uint64  `json:"hits"`
 	Joins            uint64  `json:"joins"`
+	DiskHits         uint64  `json:"disk_hits,omitempty"`
 	CacheEntries     int     `json:"cache_entries"`
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	SimWallSeconds   float64 `json:"sim_wall_seconds"`
@@ -212,6 +216,7 @@ func counters(st sched.Stats) schedCounters {
 		Misses:           st.Misses,
 		Hits:             st.Hits,
 		Joins:            st.Joins,
+		DiskHits:         st.DiskHits,
 		CacheEntries:     st.CacheEntries,
 		QueueWaitSeconds: st.QueueWait.Seconds(),
 		SimWallSeconds:   st.SimWall.Seconds(),
@@ -253,7 +258,7 @@ func runSuiteOn(ctx context.Context, names []string, scale float64, jobs int, s 
 // configurations and returns their results in order. attach, when
 // non-nil, is called with each phase's scheduler before it runs so the
 // telemetry plane can follow the study across schedulers.
-func runStudy(ctx context.Context, scale float64, jobs int, attach func(*sched.Scheduler)) ([]studyResult, error) {
+func runStudy(ctx context.Context, scale float64, jobs int, attach func(*sched.Scheduler), tier sched.Tier) ([]studyResult, error) {
 	names := experiments.Names()
 	var out []studyResult
 	if attach == nil {
@@ -279,8 +284,14 @@ func runStudy(ctx context.Context, scale float64, jobs int, attach func(*sched.S
 	})
 
 	// Scheduled, cold cache: one shared scheduler, concurrent
-	// experiments, every run memoized as it completes.
+	// experiments, every run memoized as it completes. The persistent
+	// tier (when -store is given) sits under this scheduler only — the
+	// serial phase has memoization off, so a tier there would never be
+	// consulted.
 	s := sched.New(0)
+	if tier != nil {
+		s.SetTier(tier)
+	}
 	attach(s)
 	cold, err := runSuiteOn(ctx, names, scale, jobs, s)
 	if err != nil {
@@ -319,6 +330,8 @@ func main() {
 		jobs       = flag.Int("jobs", 4, "concurrent experiments in the -study scheduled configurations")
 		telAddr    = flag.String("telemetry", "", "serve live telemetry (/metrics, /runs, /events, /healthz) on this host:port; follows the -study phases across their schedulers")
 		out        = flag.String("out", "", "write JSON to this file instead of stdout")
+		compare    = flag.String("compare", "", "compare against a previous report (JSON file); exit non-zero on a >10% per-config throughput regression")
+		storeDir   = flag.String("store", "", "attach a persistent result store under the -study scheduled phases (disk hits are counted in the report)")
 	)
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
@@ -382,9 +395,21 @@ func main() {
 	}
 
 	if *study {
+		var tier sched.Tier
+		if *storeDir != "" {
+			st, err := store.Open(store.Options{Dir: *storeDir, Schema: experiments.StoreSchema, Logger: logger})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "carfbench:", err)
+				os.Exit(1)
+			}
+			defer st.Close()
+			tier = st
+			ss := st.Stats()
+			logger.Info("result store attached", "mode", ss.Mode, "dir", ss.Dir, "blobs", ss.DiskBlobs)
+		}
 		rep.StudyScale = *studyScale
 		rep.StudyJobs = *jobs
-		results, err := runStudy(ctx, *studyScale, *jobs, attach)
+		results, err := runStudy(ctx, *studyScale, *jobs, attach, tier)
 		if err != nil {
 			if ctx.Err() != nil {
 				logger.Error("interrupted, flushing partial report")
@@ -404,6 +429,85 @@ func main() {
 	}
 
 	writeReport(rep, *out)
+
+	if *compare != "" {
+		ok, err := compareReports(os.Stderr, *compare, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carfbench:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "carfbench: throughput regressed more than 10% against "+*compare)
+			os.Exit(1)
+		}
+	}
+}
+
+// regressionTolerance is the fractional per-config throughput loss
+// -compare accepts before failing: new_rate < (1 - tol) * old_rate on
+// any shared configuration makes the run exit non-zero.
+const regressionTolerance = 0.10
+
+// compareReports diffs the new report against a previous one read from
+// path, writes a human-readable ratio table to w, and reports whether
+// the run passes the regression gate. Configurations are gated only
+// when kernel and scale match (ratios across different workloads are
+// meaningless); study wall clocks are informational.
+func compareReports(w *os.File, path string, rep report) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return false, fmt.Errorf("%s: %v", path, err)
+	}
+	fmt.Fprintf(w, "\ncomparison against %s (%s)\n", path, old.Schema)
+	gate := old.Kernel == rep.Kernel && old.Scale == rep.Scale
+	if !gate {
+		fmt.Fprintf(w, "  kernel/scale differ (%s@%g vs %s@%g): ratios shown, regression gate skipped\n",
+			old.Kernel, old.Scale, rep.Kernel, rep.Scale)
+	}
+	oldCfg := map[string]configResult{}
+	for _, c := range old.Configs {
+		oldCfg[c.Name] = c
+	}
+	pass := true
+	fmt.Fprintf(w, "  %-10s %14s %14s %8s\n", "config", "old inst/s", "new inst/s", "ratio")
+	for _, c := range rep.Configs {
+		o, okc := oldCfg[c.Name]
+		if !okc || o.InstrPerSec <= 0 {
+			fmt.Fprintf(w, "  %-10s %14s %14.0f %8s\n", c.Name, "-", c.InstrPerSec, "-")
+			continue
+		}
+		ratio := c.InstrPerSec / o.InstrPerSec
+		mark := ""
+		if gate && ratio < 1-regressionTolerance {
+			pass = false
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "  %-10s %14.0f %14.0f %7.2fx%s\n", c.Name, o.InstrPerSec, c.InstrPerSec, ratio, mark)
+	}
+	if len(rep.Study) > 0 && len(old.Study) > 0 {
+		if old.StudyScale == rep.StudyScale && old.StudyJobs == rep.StudyJobs {
+			oldStudy := map[string]studyResult{}
+			for _, s := range old.Study {
+				oldStudy[s.Name] = s
+			}
+			fmt.Fprintf(w, "  %-16s %11s %11s %8s\n", "study", "old wall", "new wall", "speedup")
+			for _, s := range rep.Study {
+				o, okc := oldStudy[s.Name]
+				if !okc || s.WallSeconds <= 0 {
+					continue
+				}
+				fmt.Fprintf(w, "  %-16s %10.2fs %10.2fs %7.2fx\n",
+					s.Name, o.WallSeconds, s.WallSeconds, o.WallSeconds/s.WallSeconds)
+			}
+		} else {
+			fmt.Fprintf(w, "  study scale/jobs differ: study walls not compared\n")
+		}
+	}
+	return pass, nil
 }
 
 // writeReport marshals rep to out (stdout when empty). It exits the

@@ -1,0 +1,132 @@
+package batch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeSim completes after a fixed number of cycles and records how the
+// executor sliced it.
+type fakeSim struct {
+	remaining int64
+	chunks    []int64
+	fail      error // returned when the sim would complete
+}
+
+func (f *fakeSim) RunChunk(budget int64) (bool, error) {
+	f.chunks = append(f.chunks, budget)
+	if f.remaining > budget {
+		f.remaining -= budget
+		return false, nil
+	}
+	f.remaining = 0
+	return true, f.fail
+}
+
+func TestRunCompletesAllLanes(t *testing.T) {
+	e := NewExecutor(4)
+	var wg sync.WaitGroup
+	sims := make([]*fakeSim, 16)
+	for i := range sims {
+		sims[i] = &fakeSim{remaining: int64(i+1) * 3000}
+		wg.Add(1)
+		go func(s *fakeSim) {
+			defer wg.Done()
+			if err := e.Run(s); err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}(sims[i])
+	}
+	wg.Wait()
+	for i, s := range sims {
+		if s.remaining != 0 {
+			t.Errorf("sim %d not drained", i)
+		}
+		for _, c := range s.chunks {
+			if c != Slice {
+				t.Errorf("sim %d stepped with budget %d, want %d", i, c, Slice)
+			}
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.driving || len(e.queue) != 0 {
+		t.Error("driver did not exit after draining")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	e := NewExecutor(2)
+	want := errors.New("boom")
+	if err := e.Run(&fakeSim{remaining: 100, fail: want}); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if err := e.Run(&fakeSim{remaining: 100}); err != nil {
+		t.Fatalf("executor unusable after a lane error: %v", err)
+	}
+}
+
+// TestSingleDriver pins the lockstep property: RunChunk calls never
+// overlap, whatever the submission concurrency.
+func TestSingleDriver(t *testing.T) {
+	e := NewExecutor(8)
+	var inStep atomic.Int32
+	var maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = e.Run(&guardSim{n: 5, inStep: &inStep, maxSeen: &maxSeen})
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got != 1 {
+		t.Fatalf("observed %d concurrent RunChunk calls, want 1", got)
+	}
+}
+
+type guardSim struct {
+	n       int
+	inStep  *atomic.Int32
+	maxSeen *atomic.Int32
+}
+
+func (g *guardSim) RunChunk(int64) (bool, error) {
+	cur := g.inStep.Add(1)
+	defer g.inStep.Add(-1)
+	for {
+		seen := g.maxSeen.Load()
+		if cur <= seen || g.maxSeen.CompareAndSwap(seen, cur) {
+			break
+		}
+	}
+	g.n--
+	return g.n <= 0, nil
+}
+
+func TestEnvWidth(t *testing.T) {
+	for _, tc := range []struct {
+		val  string
+		want int
+	}{{"", 1}, {"0", 1}, {"-3", 1}, {"junk", 1}, {"1", 1}, {"8", 8}} {
+		t.Setenv(EnvVar, tc.val)
+		if got := EnvWidth(); got != tc.want {
+			t.Errorf("EnvWidth(%q) = %d, want %d", tc.val, got, tc.want)
+		}
+	}
+}
+
+func TestSharedReuse(t *testing.T) {
+	if Shared(3) != Shared(3) {
+		t.Error("Shared(3) not a singleton")
+	}
+	if Shared(3) == Shared(5) {
+		t.Error("distinct widths share an executor")
+	}
+	if Shared(0).Width() != 1 {
+		t.Error("width floor not applied")
+	}
+}

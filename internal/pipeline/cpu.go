@@ -25,35 +25,46 @@ type srcRef struct {
 
 // dynInst is one in-flight dynamic instruction.
 type dynInst struct {
-	seq  uint64
-	pc   uint64
-	inst isa.Inst
-	eff  vm.Effect
+	// Field order is deliberate: the issue-scan working set — readyAt,
+	// seq, execDone, the source refs, and the per-entry flag bytes —
+	// fills the first 64 bytes, so the wakeup scan and tryIssue touch
+	// one cache line per entry instead of three.
 
-	srcs    [2]srcRef
-	cluster uint8
-	hasDest bool
-	destFP  bool
+	// readyAt is the earliest cycle this entry can possibly issue, set
+	// when an issue attempt fails on an operand or a blocking store. The
+	// wakeup scan skips the entry until then. It is exact — the proofs
+	// live with operandNextTry — so skipping never delays an issue; zero
+	// (pool-fresh) means "try immediately".
+	readyAt  int64
+	seq      uint64
+	execDone int64
+	srcs     [2]srcRef
+
+	cluster                uint8
+	issued                 bool
+	isLoad, isStore, isMem bool
+	hasDest                bool
+	destFP                 bool
+	phantom                bool // wrong-path instruction, squashed at resolution
+
 	destTag int
 	oldTag  int // previous mapping of the destination logical register
+	memLat  int // D-cache latency, recorded in program order at fetch
 
-	isLoad, isStore, isMem bool
-
-	fetchC   int64
-	renameC  int64
-	issued   bool
-	issueC   int64
-	execDone int64
-	wbDone   int64 // valid once wbOK
-	wbOK     bool
-	wbStall  int64 // cycles spent in Recovery State
-
-	memLat int // D-cache latency, recorded in program order at fetch
+	fetchC  int64
+	renameC int64
+	issueC  int64
+	wbDone  int64 // valid once wbOK
+	wbOK    bool
+	wbStall int64 // cycles spent in Recovery State
 
 	blocksFetch bool // mispredicted: fetch waits for resolution
 	mispred     bool // mispredicted (either recovery mode)
-	phantom     bool // wrong-path instruction, squashed at resolution
 	committed   bool
+
+	pc   uint64
+	inst isa.Inst
+	eff  vm.Effect
 }
 
 // Classifier is implemented by register file models that can type a
@@ -102,6 +113,19 @@ type CPU struct {
 	intValue []uint64
 	intWrote []bool
 
+	// RunChunk resume state: the no-progress watchdog counters persist
+	// across chunk boundaries so chunked execution behaves exactly like
+	// one uninterrupted Run.
+	runIdle      int64
+	runLastInsts uint64
+
+	// classifier is the model's value classifier when it has one (the
+	// content-aware file), cached to avoid a type assertion per use.
+	// Classification itself cannot be cached per tag: the content-aware
+	// Classify consults the live Short-entry table, so the same value may
+	// classify differently at different cycles.
+	classifier Classifier
+
 	// Per-tag scoreboard (FP file).
 	fpDone []int64
 	fpWB   []int64
@@ -116,6 +140,13 @@ type CPU struct {
 	rob      instQueue
 	intIQ    []*dynInst
 	fpIQ     []*dynInst
+	// intWake/fpWake are queue-level wakeup bounds: no entry in the
+	// queue can issue before that cycle, so the wakeup scan is skipped
+	// wholesale until then. Maintained from the per-entry readyAt bounds
+	// plus a conservative next-cycle recheck whenever anything issued or
+	// was budget-limited; rename resets the bound on every insert.
+	intWake int64
+	fpWake  int64
 	front    instQueue
 	lsq      instQueue // in-flight memory operations, program order
 	haltSeen bool
@@ -137,6 +168,16 @@ type CPU struct {
 	fetchResume   int64    // fetch produces nothing before this cycle
 	fetchBlock    *dynInst // unresolved mispredicted control instruction
 	lastFetchLine uint64   // I-cache line charged for the current group
+	straight      int      // remaining superblock license (vm.Machine.Span)
+
+	// Write-back pending set: the issued-but-unwritten instructions, in
+	// seq order — exactly the entries the previous full-ROB scan would
+	// act on, in the same order (the ROB is seq-ordered). wbEarliest is
+	// the minimum execDone among them; writeback() does nothing when no
+	// pending instruction completes before this cycle (such a scan would
+	// visit only no-op entries, so skipping changes no statistic).
+	wbList     []*dynInst
+	wbEarliest int64
 
 	probeTag   int // tag reserved by the dispatch-readiness probe
 	probeValid bool
@@ -271,6 +312,7 @@ func New(cfg Config, prog *vm.Program, model regfile.Model) *CPU {
 		c.hard = newHardenState(cfg.Harden, prog)
 	}
 	c.lastFetchLine = ^uint64(0)
+	c.wbEarliest = never
 	c.readStages = model.ReadStages()
 	c.writeStages = model.WriteStages()
 	c.bypassDepth = cfg.BypassDepth
@@ -294,6 +336,7 @@ func New(cfg Config, prog *vm.Program, model regfile.Model) *CPU {
 	c.rob.initQueue(cfg.ROBSize)
 	c.front.initQueue(3 * cfg.FetchWidth)
 	c.lsq.initQueue(cfg.LSQSize)
+	c.wbList = make([]*dynInst, 0, cfg.ROBSize)
 	c.intIQ = make([]*dynInst, 0, cfg.IntQueue)
 	c.fpIQ = make([]*dynInst, 0, cfg.FPQueue)
 	c.archScratch = make([]int, 0, isa.NumRegs)
@@ -305,6 +348,7 @@ func New(cfg Config, prog *vm.Program, model regfile.Model) *CPU {
 	c.intLive = make([]bool, n)
 	c.intValue = make([]uint64, n)
 	c.intWrote = make([]bool, n)
+	c.classifier, _ = model.(Classifier)
 
 	c.fpDone = make([]int64, cfg.NumFPRegs)
 	c.fpWB = make([]int64, cfg.NumFPRegs)
@@ -386,18 +430,36 @@ const interruptMask = 1<<12 - 1
 // zero-commit hang into a harden.DeadlockError; without it, a blunt
 // idle limit still bounds a hung machine.
 func (c *CPU) Run() (Stats, error) {
+	if _, err := c.RunChunk(0); err != nil {
+		return c.stats, err
+	}
+	return c.Finalize()
+}
+
+// RunChunk simulates up to budget cycles (budget <= 0 means until the
+// program finishes) and reports whether the simulation is complete. It
+// is the resumable core of Run: callers that interleave many machines —
+// the batched lockstep executor — alternate RunChunk calls across
+// simulations and call Finalize on each once it reports done. The
+// sequence of cycles executed is identical to a single Run call, so
+// every statistic is bit-identical regardless of chunking.
+//
+// A non-nil error means the run failed (hardening divergence, deadlock,
+// interrupt); the simulation must not be resumed afterwards.
+func (c *CPU) RunChunk(budget int64) (bool, error) {
 	const idleLimit = 100000
-	var idle int64
-	lastInsts := uint64(0)
 	watchdog := c.hard != nil && c.hard.wd != nil
-	for !c.done {
+	for spent := int64(0); !c.done; spent++ {
+		if budget > 0 && spent >= budget {
+			return false, nil
+		}
 		c.cycle()
 		if c.hard != nil && c.hard.err != nil {
-			return c.stats, c.hard.err
+			return true, c.hard.err
 		}
 		if c.interrupt != nil && c.stats.Cycles&interruptMask == 0 {
 			if err := c.interrupt(); err != nil {
-				return c.stats, fmt.Errorf("pipeline: run interrupted at cycle %d: %w", c.stats.Cycles, err)
+				return true, fmt.Errorf("pipeline: run interrupted at cycle %d: %w", c.stats.Cycles, err)
 			}
 		}
 		if c.progress != nil && c.stats.Cycles&progressMask == 0 {
@@ -405,7 +467,7 @@ func (c *CPU) Run() (Stats, error) {
 		}
 		if watchdog {
 			if stalled, tripped := c.hard.wd.Observe(c.stats.Cycles, c.stats.Instructions); tripped {
-				return c.stats, &harden.DeadlockError{
+				return true, &harden.DeadlockError{
 					Cycle:           c.stats.Cycles,
 					LastCommitCycle: uint64(max64(c.lastCommitCycle, 0)),
 					StalledFor:      stalled,
@@ -413,19 +475,25 @@ func (c *CPU) Run() (Stats, error) {
 					Bundle:          c.buildBundle(),
 				}
 			}
-		} else if c.stats.Instructions == lastInsts {
-			idle++
-			if idle > idleLimit {
-				return c.stats, fmt.Errorf("pipeline: no commit progress for %d cycles at cycle %d (pc %#x)", idleLimit, c.now, c.mach.PC)
+		} else if c.stats.Instructions == c.runLastInsts {
+			c.runIdle++
+			if c.runIdle > idleLimit {
+				return true, fmt.Errorf("pipeline: no commit progress for %d cycles at cycle %d (pc %#x)", idleLimit, c.now, c.mach.PC)
 			}
 		} else {
-			idle = 0
-			lastInsts = c.stats.Instructions
+			c.runIdle = 0
+			c.runLastInsts = c.stats.Instructions
 		}
 		if c.cfg.MaxInstructions > 0 && c.stats.Instructions >= c.cfg.MaxInstructions {
 			break
 		}
 	}
+	return true, nil
+}
+
+// Finalize flushes end-of-run samplers and surfaces accumulated model
+// faults. Call exactly once, after RunChunk reports done without error.
+func (c *CPU) Finalize() (Stats, error) {
 	if c.msampler != nil {
 		c.msampler.Final(c.stats.Cycles)
 	}
@@ -606,12 +674,22 @@ func (c *CPU) removeLSQ(in *dynInst) {
 // ---------- Write-back ----------
 
 func (c *CPU) writeback() {
-	// Attempt write-back for every executed, un-written instruction in
-	// the ROB. Only destinations consume write-back slots; the loop is
-	// bounded by the ROB size.
-	for i, n := 0, c.rob.Len(); i < n; i++ {
-		in := c.rob.At(i)
-		if in.wbOK || !in.issued || in.execDone >= c.now {
+	// Attempt write-back for every executed, un-written instruction.
+	// The pending set holds exactly those instructions in seq order —
+	// the order the previous full-ROB scan visited them — so the whole
+	// ROB never needs walking. Nothing at all happens on cycles where no
+	// pending instruction has completed yet.
+	if len(c.wbList) == 0 || c.wbEarliest >= c.now {
+		return
+	}
+	earliest := never
+	kept := c.wbList[:0]
+	for _, in := range c.wbList {
+		if in.execDone >= c.now {
+			kept = append(kept, in)
+			if in.execDone < earliest {
+				earliest = in.execDone
+			}
 			continue
 		}
 		if !in.hasDest {
@@ -628,6 +706,10 @@ func (c *CPU) writeback() {
 		if c.writePorts > 0 && c.writesUsed >= c.writePorts {
 			// Out of write ports this cycle; the result retries.
 			c.stats.PortStallCycles++
+			kept = append(kept, in)
+			if in.execDone < earliest {
+				earliest = in.execDone
+			}
 			continue
 		}
 		if c.pp != nil {
@@ -661,8 +743,14 @@ func (c *CPU) writeback() {
 			in.wbDone = c.now + int64(c.writeStages)
 			c.intWB[in.destTag] = in.wbDone
 			c.intWrote[in.destTag] = true
+			continue
+		}
+		kept = append(kept, in)
+		if in.execDone < earliest {
+			earliest = in.execDone
 		}
 	}
+	c.wbList, c.wbEarliest = kept, earliest
 }
 
 // ---------- Issue / execute ----------
@@ -714,25 +802,84 @@ func (c *CPU) operandStatus(s srcRef, cluster uint8) (ready, viaBypass, crossed 
 	return false, false, crossed // bypass window missed, RF not yet written
 }
 
+// operandNextTry computes the earliest cycle the given not-ready source
+// can satisfy operandStatus — the issue-queue wakeup time. It is exact,
+// mirroring operandStatus case by case:
+//
+//   - Producer unissued (done == never): it can issue next cycle at the
+//     soonest, so recheck every cycle until it does.
+//   - Result not yet catchable (done > now + readStages): first ready at
+//     done - readStages, where the bypass gap is 1 <= bypassDepth. The
+//     gap only grows with time, so it cannot have been ready earlier.
+//   - Bypass window missed with the register file write still pending:
+//     ready again exactly when the write lands. The effective write
+//     cycle is done + writeStages (FP: done + 1) — writeback may clamp
+//     the architectural wbDone later under Recovery-State delay, but
+//     operandStatus reads min(done + stages, recorded WB), which the
+//     clamp can only leave at done + stages.
+//
+// Cross-cluster sources see done shifted by the forwarding cycle before
+// any of the cases, exactly as operandStatus applies it.
+func (c *CPU) operandNextTry(s srcRef, cluster uint8) int64 {
+	var done, stages int64
+	if s.fp {
+		done = c.fpDone[s.tag]
+		stages = 1
+	} else {
+		done = c.intDone[s.tag]
+		stages = int64(c.writeStages)
+		if c.clusters > 1 && c.tagCluster[s.tag] != cluster {
+			done++
+		}
+	}
+	if done >= never {
+		return c.now + 1
+	}
+	r := int64(c.readStages)
+	if done > c.now+r {
+		return done - r
+	}
+	return done + stages - r
+}
+
 // loadBlocked reports whether an older overlapping store delays the
 // load. forwarded is true when the value comes from the store queue.
-func (c *CPU) loadBlocked(ld *dynInst) (blocked, forwarded bool) {
+// When blocked, retryAt is the earliest cycle the blocking store stops
+// blocking: stores not yet issued force a next-cycle recheck; issued
+// ones unblock exactly when their data is catchable by the load's read
+// stages (execDone <= now + readStages).
+func (c *CPU) loadBlocked(ld *dynInst) (blocked, forwarded bool, retryAt int64) {
 	lo, hi := ld.eff.Addr, ld.eff.Addr+uint64(ld.eff.Size)
-	for i := c.lsq.Len() - 1; i >= 0; i-- {
+	// The LSQ is seq-ordered, so binary-search the load's own position
+	// and walk backwards from there: same visit order over the older
+	// entries as the full scan, without stepping over the younger suffix.
+	i, j := 0, c.lsq.Len()
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if c.lsq.At(mid).seq < ld.seq {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	for i--; i >= 0; i-- {
 		st := c.lsq.At(i)
-		if st.seq >= ld.seq || !st.isStore {
+		if !st.isStore {
 			continue
 		}
 		sLo, sHi := st.eff.Addr, st.eff.Addr+uint64(st.eff.Size)
 		if lo < sHi && sLo < hi {
 			// Youngest older overlapping store.
-			if !st.issued || st.execDone > c.now+int64(c.readStages) {
-				return true, false
+			if !st.issued {
+				return true, false, c.now + 1
 			}
-			return false, true
+			if st.execDone > c.now+int64(c.readStages) {
+				return true, false, st.execDone - int64(c.readStages)
+			}
+			return false, true, 0
 		}
 	}
-	return false, false
+	return false, false, 0
 }
 
 func (c *CPU) issue() {
@@ -767,8 +914,8 @@ func (c *CPU) issue() {
 	}
 	fpPool := c.fpPoolBuf[:1]
 	fpPool[0] = fpFU
-	c.issueQueue(&c.intIQ, &issued, intPool, &dports, onlyHead)
-	c.issueQueue(&c.fpIQ, &issued, fpPool, &dports, onlyHead)
+	c.issueQueue(&c.intIQ, &c.intWake, &issued, intPool, &dports, onlyHead)
+	c.issueQueue(&c.fpIQ, &c.fpWake, &issued, fpPool, &dports, onlyHead)
 	if c.mIssueWidth != nil {
 		c.mIssueWidth.Observe(float64(issued))
 	}
@@ -778,10 +925,20 @@ func (c *CPU) issue() {
 // issue are nilled out and the queue is compacted in one pass — but
 // only on cycles where something actually issued, so a stalled queue
 // costs a read-only scan instead of rewriting (and write-barriering)
-// every element every cycle.
-func (c *CPU) issueQueue(queue *[]*dynInst, issued *int, fuPool []int, dports *int, onlyHead bool) {
+// every element every cycle. The scan itself is skipped while the
+// queue-level wake bound proves no entry can issue yet: every entry
+// either carries an exact readyAt in the future, or failed for a
+// budget/structural reason that is rechecked the next cycle. A skipped
+// scan performs no tool calls into the model and touches no statistic,
+// so skipping is invisible; PortContention retries keep the bound at
+// next-cycle because a port-limited attempt leaves readyAt in the past.
+func (c *CPU) issueQueue(queue *[]*dynInst, wake *int64, issued *int, fuPool []int, dports *int, onlyHead bool) {
+	if *wake > c.now {
+		return
+	}
 	q := *queue
 	removed := 0
+	minNext := never
 	for i, in := range q {
 		if in.issued {
 			// Issued entries are compacted out below; a stray one (can
@@ -792,17 +949,48 @@ func (c *CPU) issueQueue(queue *[]*dynInst, issued *int, fuPool []int, dports *i
 			continue
 		}
 		if onlyHead && (c.rob.Len() == 0 || c.rob.Front() != in) {
+			// Eligible again as soon as the long-pressure hold clears.
+			minNext = c.now + 1
 			continue
 		}
-		fu := &fuPool[int(in.cluster)%len(fuPool)]
-		if *issued >= c.cfg.IssueWidth || *fu <= 0 || !c.tryIssue(in, dports) {
+		if in.readyAt > c.now {
+			// A prior attempt proved this entry cannot issue before
+			// readyAt; an attempt now would fail on the same operand or
+			// store with no side effects, so skipping is invisible.
+			if in.readyAt < minNext {
+				minNext = in.readyAt
+			}
+			continue
+		}
+		// cluster is 0 or 1 and the pool length 1 or 2, so masking
+		// replaces the general modulo.
+		fu := &fuPool[int(in.cluster)&(len(fuPool)-1)]
+		if *issued >= c.cfg.IssueWidth || *fu <= 0 {
+			minNext = c.now + 1 // budget renews next cycle
+			continue
+		}
+		if !c.tryIssue(in, dports) {
+			// Operand/store failures recorded an exact future readyAt;
+			// cache-port and read-port failures leave it in the past and
+			// must recheck next cycle.
+			next := in.readyAt
+			if next <= c.now {
+				next = c.now + 1
+			}
+			if next < minNext {
+				minNext = next
+			}
 			continue
 		}
 		*issued++
 		*fu--
 		q[i] = nil
 		removed++
+		// Issuing consumes shared budgets and can unblock loads; the
+		// queue must be rescanned next cycle.
+		minNext = c.now + 1
 	}
+	*wake = minNext
 	if removed == 0 {
 		return
 	}
@@ -821,14 +1009,6 @@ func (c *CPU) tryIssue(in *dynInst, dports *int) bool {
 	if in.isMem && *dports <= 0 {
 		return false
 	}
-	var forwarded bool
-	if in.isLoad {
-		blocked, fwd := c.loadBlocked(in)
-		if blocked {
-			return false
-		}
-		forwarded = fwd
-	}
 	type opRead struct {
 		s      srcRef
 		bypass bool
@@ -843,6 +1023,7 @@ func (c *CPU) tryIssue(in *dynInst, dports *int) bool {
 		}
 		ready, bypass, crossed := c.operandStatus(s, in.cluster)
 		if !ready {
+			in.readyAt = c.operandNextTry(s, in.cluster)
 			return false
 		}
 		if !bypass && !s.fp {
@@ -853,6 +1034,18 @@ func (c *CPU) tryIssue(in *dynInst, dports *int) bool {
 		}
 		reads[nReads] = opRead{s, bypass}
 		nReads++
+	}
+	// Memory-order check after operand readiness: both predicates are
+	// side-effect-free, so the order only decides which one prices the
+	// retry hint.
+	var forwarded bool
+	if in.isLoad {
+		blocked, fwd, retryAt := c.loadBlocked(in)
+		if blocked {
+			in.readyAt = retryAt
+			return false
+		}
+		forwarded = fwd
 	}
 	if c.readPorts > 0 && c.readsUsed+rfReads > c.readPorts {
 		// Not enough read ports left this cycle.
@@ -901,6 +1094,16 @@ func (c *CPU) tryIssue(in *dynInst, dports *int) bool {
 	in.issued = true
 	in.issueC = c.now
 	in.execDone = c.now + int64(c.readStages) + lat
+	// Enter the write-back pending set, kept seq-sorted (issue order is
+	// age order within a queue but not across the int/FP queues or
+	// across cycles; the set is small, so the backward ripple is cheap).
+	c.wbList = append(c.wbList, in)
+	for i := len(c.wbList) - 1; i > 0 && c.wbList[i-1].seq > in.seq; i-- {
+		c.wbList[i], c.wbList[i-1] = c.wbList[i-1], c.wbList[i]
+	}
+	if in.execDone < c.wbEarliest {
+		c.wbEarliest = in.execDone
+	}
 	if in.hasDest {
 		if in.destFP {
 			c.fpDone[in.destTag] = in.execDone
@@ -942,8 +1145,7 @@ func (c *CPU) verifyRead(tag int) {
 // recordOperandCombo folds the instruction's integer source value types
 // into the Table 4 histogram (content-aware runs only).
 func (c *CPU) recordOperandCombo(in *dynInst) {
-	cl, ok := c.model.(Classifier)
-	if !ok {
+	if c.classifier == nil {
 		return
 	}
 	var types [2]regfile.ValueType
@@ -952,7 +1154,7 @@ func (c *CPU) recordOperandCombo(in *dynInst) {
 		if s.tag < 0 || s.fp {
 			continue
 		}
-		types[n] = cl.Classify(c.intValue[s.tag])
+		types[n] = c.classifier.Classify(c.intValue[s.tag])
 		n++
 	}
 	switch n {

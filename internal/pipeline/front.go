@@ -6,6 +6,7 @@ import (
 	"carf/internal/isa"
 	"carf/internal/profile"
 	"carf/internal/regfile"
+	"carf/internal/vm"
 )
 
 // ---------- Rename / dispatch ----------
@@ -44,8 +45,10 @@ func (c *CPU) rename() {
 		}
 		if in.inst.Op.Class() == isa.ClassFPU {
 			c.fpIQ = append(c.fpIQ, in)
+			c.fpWake = 0 // new entry: the wakeup scan must look again
 		} else {
 			c.intIQ = append(c.intIQ, in)
+			c.intWake = 0
 		}
 	}
 }
@@ -174,8 +177,8 @@ func (c *CPU) assignCluster(in *dynInst) {
 // file's own classification when available, else the simple-value rule
 // at the paper's default width.
 func (c *CPU) isSimpleValue(v uint64) bool {
-	if cl, ok := c.model.(Classifier); ok {
-		return cl.Classify(v) == regfile.TypeSimple
+	if c.classifier != nil {
+		return c.classifier.Classify(v) == regfile.TypeSimple
 	}
 	const dn = 20
 	low := v & (1<<dn - 1)
@@ -212,29 +215,27 @@ func (c *CPU) fetch() {
 				return
 			}
 		}
+		// Superblock fast path: while inside a predecoded straight-line
+		// run, step without halt/control/decodability checks. The license
+		// persists across cycles — only fetch advances the machine, so a
+		// span measured once stays valid until consumed.
+		if c.straight == 0 {
+			c.straight = c.mach.Span()
+		}
+		if c.straight > 0 {
+			c.straight--
+			inst, eff := c.mach.StepStraight()
+			c.pushFetched(pc, inst, eff)
+			continue
+		}
+
 		inst, eff, err := c.mach.Step()
 		if err != nil {
 			// Programs are validated before simulation; an execution
 			// fault here is a simulator bug.
 			panic(fmt.Sprintf("pipeline: functional execution failed at %#x: %v", pc, err))
 		}
-		in := c.newDyn()
-		in.seq = c.seq
-		in.pc = pc
-		in.inst = inst
-		in.eff = eff
-		in.isLoad = inst.Op.IsLoad()
-		in.isStore = inst.Op.IsStore()
-		in.fetchC = c.now
-		in.isMem = in.isLoad || in.isStore
-		if in.isMem {
-			// Data-cache state evolves in program order (deterministic
-			// across register file organizations); the latency recorded
-			// here is charged when the access issues.
-			in.memLat = c.hier.DataLatencyPC(eff.Addr, pc)
-		}
-		c.seq++
-		c.front.PushBack(in)
+		in := c.pushFetched(pc, inst, eff)
 
 		if inst.Op == isa.HALT {
 			c.haltSeen = true
@@ -247,6 +248,31 @@ func (c *CPU) fetch() {
 			return // fetch group ends at a taken/blocking transfer
 		}
 	}
+}
+
+// pushFetched fills a pooled dynInst with the result of one functional
+// step and appends it to the front-end queue.
+func (c *CPU) pushFetched(pc uint64, inst isa.Inst, eff vm.Effect) *dynInst {
+	in := c.newDyn()
+	in.seq = c.seq
+	in.pc = pc
+	in.inst = inst
+	in.eff = eff
+	// The effect already encodes the memory class (eff.Mem is set exactly
+	// for loads and stores), sparing two opcode-table lookups per fetch.
+	in.isLoad = eff.Mem && !eff.Store
+	in.isStore = eff.Store
+	in.fetchC = c.now
+	in.isMem = eff.Mem
+	if in.isMem {
+		// Data-cache state evolves in program order (deterministic
+		// across register file organizations); the latency recorded
+		// here is charged when the access issues.
+		in.memLat = c.hier.DataLatencyPC(eff.Addr, pc)
+	}
+	c.seq++
+	c.front.PushBack(in)
+	return in
 }
 
 // handleControl applies branch prediction to a fetched control

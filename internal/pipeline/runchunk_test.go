@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"carf/internal/core"
+	"carf/internal/regfile"
+	"carf/internal/workload"
+)
+
+// TestRunChunkMatchesRun pins the resumable-execution contract: slicing
+// a simulation into RunChunk calls of any size, then Finalize, must
+// reproduce every statistic of a single Run call bit-for-bit. The
+// batched lockstep executor depends on this.
+func TestRunChunkMatchesRun(t *testing.T) {
+	models := map[string]func() regfile.Model{
+		"baseline": func() regfile.Model { return regfile.Baseline() },
+		"carf":     func() regfile.Model { return core.New(core.DefaultParams()) },
+	}
+	for _, kernel := range []string{"histo", "qsort"} {
+		k, err := workload.ByName(kernel, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mname, mk := range models {
+			ref := New(DefaultConfig(), k.Prog, mk())
+			want, err := ref.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: Run: %v", kernel, mname, err)
+			}
+			for _, chunk := range []int64{1, 7, 4096} {
+				cpu := New(DefaultConfig(), k.Prog, mk())
+				steps := 0
+				for {
+					done, err := cpu.RunChunk(chunk)
+					if err != nil {
+						t.Fatalf("%s/%s chunk %d: RunChunk: %v", kernel, mname, chunk, err)
+					}
+					if done {
+						break
+					}
+					if steps++; steps > 10_000_000 {
+						t.Fatalf("%s/%s chunk %d: no termination", kernel, mname, chunk)
+					}
+				}
+				got, err := cpu.Finalize()
+				if err != nil {
+					t.Fatalf("%s/%s chunk %d: Finalize: %v", kernel, mname, chunk, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s chunk %d: stats diverge\n got: %+v\nwant: %+v",
+						kernel, mname, chunk, got, want)
+				}
+				if got := cpu.Machine().X[workload.ResultReg]; got != k.Expected {
+					t.Errorf("%s/%s chunk %d: result %#x, want %#x", kernel, mname, chunk, got, k.Expected)
+				}
+			}
+		}
+	}
+}

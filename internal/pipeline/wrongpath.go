@@ -218,6 +218,16 @@ func (c *CPU) squashWrongPath() {
 	}
 	// Count each phantom once: renamed phantoms live in the ROB (and
 	// possibly an issue queue and the LSQ); unrenamed ones in front.
+	// Squashed phantoms must leave the write-back pending set before
+	// their records are recycled. (wbEarliest may stay stale-low, which
+	// only costs one no-op pass.)
+	keptWB := c.wbList[:0]
+	for _, in := range c.wbList {
+		if in.seq <= bseq {
+			keptWB = append(keptWB, in)
+		}
+	}
+	c.wbList = keptWB
 	for c.rob.Len() > 0 && c.rob.Back().seq > bseq {
 		c.stats.WrongPathSquashed++
 		c.freeDyn(c.rob.PopBack())

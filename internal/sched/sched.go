@@ -110,6 +110,12 @@ type Provenance struct {
 	Key       Key           // content digest of the request (correlation id)
 	QueueWait time.Duration // Do entry until a worker slot was acquired
 	SimWall   time.Duration // wall time inside the simulation function
+
+	// Exec names the execution engine that served a miss ("" = the
+	// default scalar loop, "batch<N>" = the lockstep batch executor).
+	// Like QueueWait/SimWall it is only set on misses — cached results
+	// carry no engine: they did no work.
+	Exec string
 }
 
 // Stats is a snapshot of a scheduler's cumulative counters.
@@ -276,6 +282,10 @@ type Scheduler struct {
 	// progress frames per run, in nanoseconds (SetProgressInterval).
 	progressEvery atomic.Int64
 
+	// execLabel names the execution engine misses run under; stamped
+	// into Provenance.Exec (SetExecLabel).
+	execLabel string
+
 	reg       *metrics.Registry
 	queueHist *metrics.SyncHistogram // per-miss queue wait, seconds
 	simHist   *metrics.SyncHistogram // per-miss simulation wall, seconds
@@ -349,6 +359,16 @@ func (s *Scheduler) Observed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.obs != nil
+}
+
+// SetExecLabel records the name of the execution engine this
+// scheduler's misses run under (e.g. "batch8" for the lockstep batch
+// executor); it is stamped into each miss's Provenance.Exec. Purely
+// observational: labels never participate in memoization keys.
+func (s *Scheduler) SetExecLabel(label string) {
+	s.mu.Lock()
+	s.execLabel = label
+	s.mu.Unlock()
 }
 
 // SetTier attaches (or, with nil, detaches) the persistent result tier.
@@ -685,7 +705,10 @@ func (s *Scheduler) DoProgress(ctx context.Context, key Key, label string, cache
 		// Persist outside the lock; the tier absorbs its own failures.
 		tier.Store(key, e.val)
 	}
-	p := Provenance{Outcome: Miss, Key: key, QueueWait: queueWait, SimWall: simWall}
+	s.mu.Lock()
+	execLabel := s.execLabel
+	s.mu.Unlock()
+	p := Provenance{Outcome: Miss, Key: key, QueueWait: queueWait, SimWall: simWall, Exec: execLabel}
 	if obs != nil {
 		obs.RunFinished(id, p, e.err)
 	}

@@ -1,0 +1,188 @@
+package vm
+
+import "carf/internal/isa"
+
+// Predecoded superblock cache. NewProgram classifies every instruction
+// once into a decOp — an execution category plus the handful of facts
+// (encoded size, memory access width, sign extension) that Execute's
+// switch re-derives on every step. Machine.Step then dispatches on the
+// category through stepDecoded, which reuses Eval for all arithmetic so
+// the decoded path and Execute share one source of semantic truth.
+// Programs are immutable once built, so the cache is never invalidated.
+//
+// The same pass computes runEnd: for each instruction index, the index
+// of the next superblock terminator (control transfer, HALT, or
+// undecodable op) at or after it. Straight-line runs between terminators
+// are the superblocks; Machine.Span exposes the remaining run length so
+// callers (Machine.Run, the pipeline fetch stage) can replay a whole
+// span without per-instruction control checks or PC→index lookups.
+//
+// TestDecodedMatchesExecute cross-checks stepDecoded against Execute for
+// every opcode on random state; the golden differential suites gate the
+// pipeline end-to-end.
+type decOp struct {
+	cat  uint8
+	size uint8 // encoded instruction bytes (8, or 16 for LIMM)
+	ms   uint8 // memory access size in bytes (loads/stores)
+	sx   bool  // sign-extend the loaded value
+}
+
+const (
+	// decCtl marks superblock terminators: control transfers, HALT, and
+	// anything the decoded path does not handle. Step falls back to the
+	// generic Execute switch for these.
+	decCtl uint8 = iota
+	decNOP
+	decIntOp   // integer sources → integer destination, via Eval
+	decIntOpFP // FP-register sources → integer destination, via Eval
+	decFPOp    // FP-register sources → FP destination, via Eval
+	decFPOpInt // integer source → FP destination, via Eval
+	decFMADD   // reads its own destination; not expressible through Eval
+	decLoad
+	decLoadFP
+	decStore
+	decStoreFP
+)
+
+// classify builds the decOp for one instruction. Unknown opcodes get
+// decCtl so they reach Execute's default case and its error.
+func classify(inst isa.Inst) decOp {
+	d := decOp{size: uint8(inst.Size())}
+	switch inst.Op {
+	case isa.NOP:
+		d.cat = decNOP
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL,
+		isa.SRA, isa.SLT, isa.SLTU, isa.MUL, isa.MULHU, isa.DIV, isa.REM,
+		isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI,
+		isa.SRAI, isa.SLTI, isa.SLTIU, isa.LIMM:
+		d.cat = decIntOp
+	case isa.FCVTLD, isa.FEQ, isa.FLT, isa.FLE, isa.FMVXD:
+		d.cat = decIntOpFP
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FSQRT, isa.FABS,
+		isa.FNEG, isa.FMIN, isa.FMAX:
+		d.cat = decFPOp
+	case isa.FCVTDL, isa.FMVDX:
+		d.cat = decFPOpInt
+	case isa.FMADD:
+		d.cat = decFMADD
+	case isa.LD:
+		d.cat, d.ms = decLoad, 8
+	case isa.LW:
+		d.cat, d.ms, d.sx = decLoad, 4, true
+	case isa.LWU:
+		d.cat, d.ms = decLoad, 4
+	case isa.LB:
+		d.cat, d.ms, d.sx = decLoad, 1, true
+	case isa.LBU:
+		d.cat, d.ms = decLoad, 1
+	case isa.FLD:
+		d.cat, d.ms = decLoadFP, 8
+	case isa.ST:
+		d.cat, d.ms = decStore, 8
+	case isa.SW:
+		d.cat, d.ms = decStore, 4
+	case isa.SB:
+		d.cat, d.ms = decStore, 1
+	case isa.FSD:
+		d.cat, d.ms = decStoreFP, 8
+	default:
+		d.cat = decCtl
+	}
+	return d
+}
+
+// predecode fills p.dec and p.runEnd. Called once from NewProgram.
+func (p *Program) predecode() {
+	n := len(p.Code)
+	p.dec = make([]decOp, n)
+	p.runEnd = make([]int32, n)
+	end := int32(n)
+	for i := n - 1; i >= 0; i-- {
+		p.dec[i] = classify(p.Code[i])
+		if p.dec[i].cat == decCtl {
+			end = int32(i)
+		}
+		p.runEnd[i] = end
+	}
+}
+
+// stepDecoded executes the predecoded instruction at index i. The caller
+// guarantees d.cat != decCtl, so no error is possible: the instruction
+// is a known, non-control op. Semantics mirror Execute exactly,
+// including the x0-destination convention (the Effect still records
+// RdClass/Rd/RdValue with the value forced to zero, WritesReg false).
+func (m *Machine) stepDecoded(d *decOp, inst isa.Inst) Effect {
+	next := m.PC + uint64(d.size)
+	eff := Effect{NextPC: next}
+
+	switch d.cat {
+	case decNOP:
+	case decIntOp:
+		v, _ := Eval(inst, m.X[inst.Rs1], m.X[inst.Rs2])
+		m.setIntEff(&eff, inst.Rd, v)
+	case decIntOpFP:
+		v, _ := Eval(inst, m.F[inst.Rs1], m.F[inst.Rs2])
+		m.setIntEff(&eff, inst.Rd, v)
+	case decFPOp:
+		v, _ := Eval(inst, m.F[inst.Rs1], m.F[inst.Rs2])
+		m.setFPEff(&eff, inst.Rd, v)
+	case decFPOpInt:
+		v, _ := Eval(inst, m.X[inst.Rs1], m.X[inst.Rs2])
+		m.setFPEff(&eff, inst.Rd, v)
+	case decFMADD:
+		v := bits(f64(m.F[inst.Rd]) + f64(m.F[inst.Rs1])*f64(m.F[inst.Rs2]))
+		m.setFPEff(&eff, inst.Rd, v)
+	case decLoad:
+		addr := m.X[inst.Rs1] + uint64(inst.Imm)
+		v := m.Mem.Read(addr, int(d.ms))
+		if d.sx {
+			shift := uint(64 - 8*int(d.ms))
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		eff.Mem, eff.Addr, eff.Size = true, addr, int(d.ms)
+		m.setIntEff(&eff, inst.Rd, v)
+	case decLoadFP:
+		addr := m.X[inst.Rs1] + uint64(inst.Imm)
+		v := m.Mem.Read(addr, int(d.ms))
+		eff.Mem, eff.Addr, eff.Size = true, addr, int(d.ms)
+		m.setFPEff(&eff, inst.Rd, v)
+	case decStore:
+		addr := m.X[inst.Rs1] + uint64(inst.Imm)
+		val := m.X[inst.Rs2]
+		m.Mem.Write(addr, int(d.ms), val)
+		eff.Mem, eff.Store, eff.Addr, eff.Size, eff.StoreVal = true, true, addr, int(d.ms), val
+	case decStoreFP:
+		addr := m.X[inst.Rs1] + uint64(inst.Imm)
+		val := m.F[inst.Rs2]
+		m.Mem.Write(addr, int(d.ms), val)
+		eff.Mem, eff.Store, eff.Addr, eff.Size, eff.StoreVal = true, true, addr, int(d.ms), val
+	}
+
+	m.PC = next
+	m.InstCount++
+	return eff
+}
+
+// setIntEff is Execute's setInt closure, hoisted: x0 destinations force
+// the recorded value to zero and never touch X (X[0] stays zero by
+// construction, so the decoded path needs no trailing X[0] reset).
+func (m *Machine) setIntEff(eff *Effect, r isa.Reg, v uint64) {
+	if r == isa.Zero {
+		v = 0
+	} else {
+		m.X[r] = v
+	}
+	eff.WritesReg = r != isa.Zero
+	eff.RdClass = isa.RegInt
+	eff.Rd = r
+	eff.RdValue = v
+}
+
+// setFPEff is Execute's setFP closure, hoisted (F[0] is a real register).
+func (m *Machine) setFPEff(eff *Effect, r isa.Reg, v uint64) {
+	m.F[r] = v
+	eff.WritesReg = true
+	eff.RdClass = isa.RegFP
+	eff.Rd = r
+	eff.RdValue = v
+}

@@ -1,0 +1,255 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"carf/internal/isa"
+)
+
+// randState seeds two machines with identical random register and memory
+// state. Addresses computed by memory ops land in a seeded window so
+// loads observe non-zero data.
+func randState(rng *rand.Rand) (*Machine, *Machine) {
+	prog := NewProgram("rand", 0x4000, []isa.Inst{{Op: isa.HALT}}, nil, nil)
+	a, b := New(prog), New(prog)
+	for r := 1; r < isa.NumRegs; r++ {
+		// Small values keep rs1+imm inside the seeded memory window for
+		// some ops while still exercising full-width arithmetic on others.
+		var v uint64
+		if rng.Intn(2) == 0 {
+			v = uint64(rng.Intn(1 << 12))
+		} else {
+			v = rng.Uint64()
+		}
+		a.X[r], b.X[r] = v, v
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		v := rng.Uint64()
+		a.F[r], b.F[r] = v, v
+	}
+	for addr := uint64(0); addr < 1<<13; addr += 8 {
+		v := rng.Uint64()
+		a.Mem.Write(addr, 8, v)
+		b.Mem.Write(addr, 8, v)
+	}
+	return a, b
+}
+
+// TestDecodedMatchesExecute cross-checks stepDecoded against Execute for
+// every opcode on random state: identical Effect, identical register
+// file, PC, InstCount, and memory. It also pins the classification
+// boundary: only control transfers, HALT, and invalid opcodes may fall
+// back to the generic path.
+func TestDecodedMatchesExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for opi := 0; opi < isa.NumOps; opi++ {
+		op := isa.Op(opi)
+		d := classify(isa.Inst{Op: op})
+		wantGeneric := !op.Valid() || op.IsControl() || op == isa.HALT
+		if (d.cat == decCtl) != wantGeneric {
+			t.Errorf("%v: classified cat=%d, want generic=%v", op, d.cat, wantGeneric)
+		}
+		if d.cat == decCtl {
+			continue
+		}
+		for trial := 0; trial < 64; trial++ {
+			inst := isa.Inst{
+				Op:  op,
+				Rd:  isa.Reg(rng.Intn(isa.NumRegs)),
+				Rs1: isa.Reg(rng.Intn(isa.NumRegs)),
+				Rs2: isa.Reg(rng.Intn(isa.NumRegs)),
+				Imm: int64(rng.Intn(1<<11)) - 1<<10,
+			}
+			ma, mb := randState(rng)
+			dd := classify(inst)
+			if dd.cat != d.cat {
+				t.Fatalf("%v: classification depends on operands", op)
+			}
+			effA, err := ma.Execute(inst)
+			if err != nil {
+				t.Fatalf("%v: Execute: %v", op, err)
+			}
+			effB := mb.stepDecoded(&dd, inst)
+			if effA != effB {
+				t.Fatalf("%v %v: effect mismatch\nexecute: %+v\ndecoded: %+v", op, inst, effA, effB)
+			}
+			if ma.X != mb.X {
+				t.Fatalf("%v %v: integer register mismatch", op, inst)
+			}
+			if ma.F != mb.F {
+				t.Fatalf("%v %v: FP register mismatch", op, inst)
+			}
+			if ma.PC != mb.PC || ma.InstCount != mb.InstCount || ma.Halted != mb.Halted {
+				t.Fatalf("%v %v: control state mismatch", op, inst)
+			}
+			if effA.Store {
+				if got, want := mb.Mem.Read(effA.Addr, effA.Size), ma.Mem.Read(effA.Addr, effA.Size); got != want {
+					t.Fatalf("%v %v: memory mismatch at %#x: %#x != %#x", op, inst, effA.Addr, got, want)
+				}
+			}
+		}
+	}
+}
+
+// refStep executes one instruction the pre-superblock way: dense index
+// lookup plus the generic Execute switch. It is the reference the
+// decoded fast path is differenced against.
+func refStep(m *Machine) (isa.Inst, Effect, error) {
+	i := m.Prog.IndexOf(m.PC)
+	if i < 0 {
+		return isa.Inst{}, Effect{}, fmt.Errorf("refStep: PC %#x not an instruction", m.PC)
+	}
+	inst := m.Prog.Code[i]
+	eff, err := m.Execute(inst)
+	return inst, eff, err
+}
+
+// branchy builds a program mixing straight-line runs, taken and
+// not-taken branches, calls, memory traffic, and FP work, so Step's
+// decoded fast path and the superblock replay in Run both get exercised
+// against the reference executor over thousands of dynamic instructions.
+func branchy() *Program {
+	code := []isa.Inst{
+		{Op: isa.LIMM, Rd: 1, Imm: 0},      // i = 0
+		{Op: isa.LIMM, Rd: 2, Imm: 200},    // n
+		{Op: isa.LIMM, Rd: 3, Imm: 0x8000}, // buf
+		{Op: isa.LIMM, Rd: 4, Imm: 0},      // acc
+		// loop:
+		{Op: isa.SLLI, Rd: 5, Rs1: 1, Imm: 3},
+		{Op: isa.ADD, Rd: 5, Rs1: 3, Rs2: 5},
+		{Op: isa.MUL, Rd: 6, Rs1: 1, Rs2: 1},
+		{Op: isa.ST, Rs1: 5, Rs2: 6},
+		{Op: isa.LD, Rd: 7, Rs1: 5},
+		{Op: isa.ADD, Rd: 4, Rs1: 4, Rs2: 7},
+		{Op: isa.ANDI, Rd: 8, Rs1: 1, Imm: 3},
+		{Op: isa.BNE, Rs1: 8, Rs2: 0, Imm: 3 * 8}, // skip FP block 3/4 of the time
+		{Op: isa.FCVTDL, Rd: 9, Rs1: 4},
+		{Op: isa.FMUL, Rd: 10, Rs1: 9, Rs2: 9},
+		{Op: isa.FMADD, Rd: 11, Rs1: 10, Rs2: 9},
+		// join:
+		{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 1},
+		{Op: isa.BLT, Rs1: 1, Rs2: 2, Imm: -13 * 8}, // back to loop
+		{Op: isa.FCVTLD, Rd: 12, Rs1: 11},
+		{Op: isa.HALT},
+	}
+	return NewProgram("branchy", 0x4000, code, nil, nil)
+}
+
+func TestStepMatchesReferenceOnBranchyProgram(t *testing.T) {
+	prog := branchy()
+	fast, ref := New(prog), New(prog)
+	for steps := 0; !ref.Halted; steps++ {
+		if steps > 100000 {
+			t.Fatal("runaway program")
+		}
+		wi, we, werr := refStep(ref)
+		gi, ge, gerr := fast.Step()
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("step %d: err %v vs %v", steps, werr, gerr)
+		}
+		if wi != gi || we != ge {
+			t.Fatalf("step %d: inst/effect mismatch\nref:  %v %+v\nfast: %v %+v", steps, wi, we, gi, ge)
+		}
+	}
+	if !fast.Halted || fast.PC != ref.PC || fast.InstCount != ref.InstCount || fast.X != ref.X || fast.F != ref.F {
+		t.Fatal("final state mismatch")
+	}
+}
+
+func TestRunMatchesStepLoop(t *testing.T) {
+	for _, limit := range []uint64{0, 1, 7, 100, 1000} {
+		run, ref := New(branchy()), New(branchy())
+		n, err := run.Run(limit)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		var rn uint64
+		for !ref.Halted && (limit == 0 || rn < limit) {
+			if _, _, err := ref.Step(); err != nil {
+				t.Fatalf("limit %d: ref step: %v", limit, err)
+			}
+			rn++
+		}
+		if n != rn {
+			t.Fatalf("limit %d: executed %d, ref %d", limit, n, rn)
+		}
+		if run.PC != ref.PC || run.InstCount != ref.InstCount || run.X != ref.X || run.F != ref.F || run.Halted != ref.Halted {
+			t.Fatalf("limit %d: state mismatch", limit)
+		}
+	}
+}
+
+// TestSpanLicense pins the Span/StepStraight contract: a span of k
+// permits exactly k unchecked steps, matching k checked Steps.
+func TestSpanLicense(t *testing.T) {
+	a, b := New(branchy()), New(branchy())
+	for !b.Halted {
+		span := a.Span()
+		if span > 0 {
+			for k := 0; k < span; k++ {
+				ai, ae := a.StepStraight()
+				bi, be, err := b.Step()
+				if err != nil {
+					t.Fatalf("ref step inside span: %v", err)
+				}
+				if ai != bi || ae != be {
+					t.Fatalf("straight step mismatch at pc %#x", bi.Imm)
+				}
+			}
+			continue
+		}
+		if _, _, err := a.Step(); err != nil {
+			t.Fatalf("terminator step: %v", err)
+		}
+		if _, _, err := b.Step(); err != nil {
+			t.Fatalf("ref terminator step: %v", err)
+		}
+	}
+	if !a.Halted || a.X != b.X || a.PC != b.PC {
+		t.Fatal("final state mismatch")
+	}
+}
+
+// TestSpanZeroCases: halted machines, control instructions, and invalid
+// PCs all yield a zero span.
+func TestSpanZeroCases(t *testing.T) {
+	prog := NewProgram("z", 0x4000, []isa.Inst{
+		{Op: isa.JAL, Imm: -8},
+		{Op: isa.HALT},
+	}, nil, nil)
+	m := New(prog)
+	if got := m.Span(); got != 0 {
+		t.Errorf("span at JAL = %d, want 0", got)
+	}
+	m.PC = 0x1234
+	if got := m.Span(); got != 0 {
+		t.Errorf("span at bad PC = %d, want 0", got)
+	}
+	m.PC = prog.Entry()
+	m.Halted = true
+	if got := m.Span(); got != 0 {
+		t.Errorf("span when halted = %d, want 0", got)
+	}
+}
+
+func TestStraightLenRuns(t *testing.T) {
+	prog := branchy()
+	if got := prog.StraightLen(0); got != 11 {
+		t.Errorf("StraightLen(0) = %d, want 11 (run ends at BNE)", got)
+	}
+	if got := prog.StraightLen(11); got != 0 {
+		t.Errorf("StraightLen(BNE) = %d, want 0", got)
+	}
+	if got := prog.StraightLen(12); got != 4 {
+		t.Errorf("StraightLen(12) = %d, want 4 (FP block + join to BLT)", got)
+	}
+	if got := prog.StraightLen(len(prog.Code)); got != 0 {
+		t.Errorf("StraightLen(out of range) = %d, want 0", got)
+	}
+	bare := &Program{Name: "bare"}
+	if got := bare.StraightLen(0); got != 0 {
+		t.Errorf("StraightLen on unpredecoded program = %d, want 0", got)
+	}
+}

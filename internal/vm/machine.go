@@ -65,7 +65,10 @@ type Effect struct {
 }
 
 // Step fetches the instruction at PC from the loaded program and executes
-// it. It returns the instruction and its effect.
+// it. It returns the instruction and its effect. Straight-line
+// instructions dispatch through the predecoded superblock cache
+// (decode.go), skipping Execute's full decode switch; control transfers
+// and anything undecodable take the generic path.
 func (m *Machine) Step() (isa.Inst, Effect, error) {
 	if m.Halted {
 		return isa.Inst{}, Effect{}, fmt.Errorf("vm: step after halt")
@@ -77,16 +80,68 @@ func (m *Machine) Step() (isa.Inst, Effect, error) {
 		}
 	}
 	inst := m.Prog.Code[i]
-	eff, err := m.Execute(inst)
 	m.nextIdx = i + 1
+	if i < len(m.Prog.dec) {
+		if d := &m.Prog.dec[i]; d.cat != decCtl {
+			return inst, m.stepDecoded(d, inst), nil
+		}
+	}
+	eff, err := m.Execute(inst)
 	return inst, eff, err
 }
 
+// Span returns the number of predecoded straight-line instructions
+// starting at the current PC — the remaining length of the current
+// superblock. Zero when the next instruction terminates a superblock
+// (control transfer, HALT, undecodable), when the machine is halted, or
+// when PC is not an instruction boundary. A span of k licenses exactly k
+// consecutive StepStraight calls.
+func (m *Machine) Span() int {
+	if m.Halted {
+		return 0
+	}
+	i := m.nextIdx
+	if i >= len(m.Prog.Code) || m.Prog.AddrOf(i) != m.PC {
+		if i = m.Prog.IndexOf(m.PC); i < 0 {
+			return 0
+		}
+		m.nextIdx = i
+	}
+	return m.Prog.StraightLen(i)
+}
+
+// StepStraight executes the next instruction with no halt, bounds, or
+// decodability checks, and therefore cannot fail. Callers must hold a
+// straight-line license from Span: after Span returns ≥ k, exactly k
+// StepStraight calls are valid with no other machine mutation between
+// them.
+func (m *Machine) StepStraight() (isa.Inst, Effect) {
+	i := m.nextIdx
+	inst := m.Prog.Code[i]
+	m.nextIdx = i + 1
+	return inst, m.stepDecoded(&m.Prog.dec[i], inst)
+}
+
 // Run executes until HALT or until limit instructions have run (0 means
-// no limit). It returns the number of instructions executed.
+// no limit). It returns the number of instructions executed. Whole
+// superblocks replay through the decoded fast path; only terminators go
+// through the generic Step.
 func (m *Machine) Run(limit uint64) (uint64, error) {
 	var n uint64
 	for !m.Halted {
+		if limit != 0 && n >= limit {
+			return n, nil
+		}
+		span := m.Span()
+		if limit != 0 {
+			if left := limit - n; uint64(span) > left {
+				span = int(left)
+			}
+		}
+		for k := 0; k < span; k++ {
+			m.StepStraight()
+		}
+		n += uint64(span)
 		if limit != 0 && n >= limit {
 			return n, nil
 		}

@@ -30,6 +30,14 @@ type Program struct {
 	// replaces the map lookup the fetch stage would otherwise pay per
 	// instruction; code images are a few KB, so the table stays small.
 	denseIdx []int32
+
+	// Predecoded superblock cache (see decode.go). dec[i] is the decoded
+	// form of Code[i]; runEnd[i] is the index of the first superblock
+	// terminator (control transfer, HALT, undecodable op) at or after i.
+	// Built once in NewProgram; programs are immutable, so never
+	// invalidated.
+	dec    []decOp
+	runEnd []int32
 }
 
 // Segment is an initialized span of data memory.
@@ -62,7 +70,19 @@ func NewProgram(name string, base uint64, code []isa.Inst, data []Segment, initR
 	for i := range code {
 		p.denseIdx[p.offsets[i]] = int32(i)
 	}
+	p.predecode()
 	return p
+}
+
+// StraightLen returns the number of consecutive decoded straight-line
+// instructions starting at index i — zero when Code[i] itself terminates
+// a superblock. It is zero for indexes outside the predecoded range
+// (programs constructed without NewProgram have no cache).
+func (p *Program) StraightLen(i int) int {
+	if i < 0 || i >= len(p.runEnd) {
+		return 0
+	}
+	return int(p.runEnd[i]) - i
 }
 
 // Entry returns the address of the first instruction.
