@@ -490,10 +490,12 @@ func RunExperimentReport(name string, opt ExperimentOptions) (ExperimentReport, 
 			Hits:             r.Sched.Hits,
 			DiskHits:         r.Sched.DiskHits,
 			Joins:            r.Sched.Joins,
+			PeerHits:         r.Sched.PeerHits,
 			Canceled:         r.Sched.Canceled,
 			Errors:           r.Sched.Errors,
 			QueueWaitSeconds: r.Sched.QueueWait.Seconds(),
 			SimWallSeconds:   r.Sched.SimWall.Seconds(),
+			LeaseWaitSeconds: r.Sched.LeaseWait.Seconds(),
 		},
 	}, nil
 }
@@ -510,11 +512,13 @@ type SchedulerStats struct {
 	Hits         uint64 // requests served from the in-memory cache
 	DiskHits     uint64 // requests served from the persistent tier
 	Joins        uint64 // requests that joined an in-flight run
+	PeerHits     uint64 // requests served by a peer process sharing the store
 	Canceled     uint64 // requests abandoned by their context
 	Errors       uint64 // requests whose simulation failed
 
 	QueueWaitSeconds float64 // cumulative worker-slot wait
 	SimWallSeconds   float64 // cumulative simulation wall time
+	LeaseWaitSeconds float64 // cumulative wait on peer processes' leases
 }
 
 // GlobalSchedulerStats reports the process-global scheduler's cumulative
@@ -529,9 +533,11 @@ func GlobalSchedulerStats() SchedulerStats {
 		Hits:             st.Hits,
 		DiskHits:         st.DiskHits,
 		Joins:            st.Joins,
+		PeerHits:         st.PeerHits,
 		Canceled:         st.Canceled,
 		Errors:           st.Errors,
 		QueueWaitSeconds: st.QueueWait.Seconds(),
 		SimWallSeconds:   st.SimWall.Seconds(),
+		LeaseWaitSeconds: st.LeaseWait.Seconds(),
 	}
 }

@@ -41,6 +41,7 @@ import (
 
 	"carf/internal/core"
 	"carf/internal/experiments"
+	"carf/internal/fleet"
 	"carf/internal/harden"
 	"carf/internal/pipeline"
 	"carf/internal/regfile"
@@ -103,15 +104,22 @@ type schedCounters struct {
 	Hits             uint64  `json:"hits"`
 	Joins            uint64  `json:"joins"`
 	DiskHits         uint64  `json:"disk_hits,omitempty"`
+	PeerHits         uint64  `json:"peer_hits,omitempty"`
 	CacheEntries     int     `json:"cache_entries"`
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	SimWallSeconds   float64 `json:"sim_wall_seconds"`
+	LeaseWaitSeconds float64 `json:"lease_wait_seconds,omitempty"`
 }
 
-// studyResult is one full-suite timing.
+// studyResult is one full-suite timing. Multi-process phases (-fleet)
+// set Workers and report Sched summed across all worker processes — so
+// Sched.Misses is the total simulation count for the whole fleet, the
+// number that must equal a serial cold run's for the lease protocol to
+// have deduplicated every cross-process repeat.
 type studyResult struct {
 	Name            string        `json:"name"`
 	Experiments     int           `json:"experiments"`
+	Workers         int           `json:"workers,omitempty"`
 	WallSeconds     float64       `json:"wall_seconds"`
 	SpeedupVsSerial float64       `json:"speedup_vs_serial"`
 	Sched           schedCounters `json:"sched"`
@@ -217,9 +225,11 @@ func counters(st sched.Stats) schedCounters {
 		Hits:             st.Hits,
 		Joins:            st.Joins,
 		DiskHits:         st.DiskHits,
+		PeerHits:         st.PeerHits,
 		CacheEntries:     st.CacheEntries,
 		QueueWaitSeconds: st.QueueWait.Seconds(),
 		SimWallSeconds:   st.SimWall.Seconds(),
+		LeaseWaitSeconds: st.LeaseWait.Seconds(),
 	}
 }
 
@@ -320,6 +330,132 @@ func runStudy(ctx context.Context, scale float64, jobs int, attach func(*sched.S
 	return out, nil
 }
 
+// runFleetPhases times cold multi-process sweeps: for each worker
+// count, a fresh temp store directory is shared by that many re-executed
+// copies of this binary, each claiming experiments through the shard
+// and deduplicating simulations through the store's leases. The phase's
+// Sched block sums every worker's process totals — its Misses must
+// equal the single-worker count (at-most-once simulation per key).
+func runFleetPhases(ctx context.Context, logger *slog.Logger, workerCounts []int, scale float64, serialWall float64) ([]studyResult, error) {
+	names := experiments.Names()
+	var out []studyResult
+	for _, n := range workerCounts {
+		storeDir, err := os.MkdirTemp("", "carfbench-fleet-")
+		if err != nil {
+			return nil, err
+		}
+		sh, err := fleet.NewShard(storeDir)
+		if err != nil {
+			os.RemoveAll(storeDir)
+			return nil, err
+		}
+		args := []string{
+			"-fleet-dir", sh.Dir,
+			"-fleet-store", storeDir,
+			"-study-scale", fmt.Sprintf("%g", scale),
+		}
+		start := time.Now()
+		errs := fleet.Spawn(ctx, n, args, "-fleet-index", nil, os.Stderr)
+		wall := time.Since(start)
+		for i, serr := range errs {
+			if serr != nil {
+				os.RemoveAll(storeDir)
+				return nil, fmt.Errorf("fleet-cold-w%d: worker %d: %v", n, i, serr)
+			}
+		}
+		// A benchmark phase must be complete to be comparable: every
+		// experiment needs a recorded result.
+		for _, name := range names {
+			if _, ok, lerr := sh.Load(name); lerr != nil {
+				os.RemoveAll(storeDir)
+				return nil, fmt.Errorf("fleet-cold-w%d: %s: %v", n, name, lerr)
+			} else if !ok {
+				os.RemoveAll(storeDir)
+				return nil, fmt.Errorf("fleet-cold-w%d: %s has no recorded result", n, name)
+			}
+		}
+		sums, err := sh.Summaries()
+		if err != nil || len(sums) != n {
+			os.RemoveAll(storeDir)
+			return nil, fmt.Errorf("fleet-cold-w%d: %d of %d worker summaries present (%v)", n, len(sums), n, err)
+		}
+		var agg schedCounters
+		for _, s := range sums {
+			var ws schedCounters
+			if err := json.Unmarshal(s.Sched, &ws); err != nil {
+				os.RemoveAll(storeDir)
+				return nil, fmt.Errorf("fleet-cold-w%d: worker %d counters: %v", n, s.Worker, err)
+			}
+			agg.Runs += ws.Runs
+			agg.Misses += ws.Misses
+			agg.Hits += ws.Hits
+			agg.Joins += ws.Joins
+			agg.DiskHits += ws.DiskHits
+			agg.PeerHits += ws.PeerHits
+			agg.QueueWaitSeconds += ws.QueueWaitSeconds
+			agg.SimWallSeconds += ws.SimWallSeconds
+			agg.LeaseWaitSeconds += ws.LeaseWaitSeconds
+		}
+		out = append(out, studyResult{
+			Name:            fmt.Sprintf("fleet-cold-w%d", n),
+			Experiments:     len(names),
+			Workers:         n,
+			WallSeconds:     wall.Seconds(),
+			SpeedupVsSerial: serialWall / wall.Seconds(),
+			Sched:           agg,
+		})
+		logger.Info("fleet phase timed", "workers", n,
+			"wall", fmt.Sprintf("%.1fs", wall.Seconds()),
+			"simulated", agg.Misses, "disk", agg.DiskHits, "peer", agg.PeerHits)
+		os.RemoveAll(storeDir)
+	}
+	return out, nil
+}
+
+// runBenchFleetWorker is the hidden worker mode behind -fleet: claim
+// experiments from the shard in suite order and run each on a private
+// scheduler wired to the shared store (whose leases provide the
+// cross-process dedup being measured). Results and a process-total
+// summary go into the shard for the parent's aggregation.
+func runBenchFleetWorker(ctx context.Context, logger *slog.Logger, shardDir string, index int, scale float64, storeDir string) int {
+	st, err := store.Open(store.Options{Dir: storeDir, Schema: experiments.StoreSchema, Logger: logger})
+	if err != nil {
+		logger.Error("fleet worker store open failed", "worker", index, "err", err)
+		return 1
+	}
+	defer st.Close()
+	s := sched.New(0)
+	s.SetTier(st)
+	sh := fleet.OpenShard(shardDir)
+	t0 := time.Now()
+	ran, workErr := sh.Work(ctx, experiments.Names(), func(name string) (fleet.Result, error) {
+		et := time.Now()
+		r, err := experiments.Run(name, experiments.Options{Ctx: ctx, Scale: scale, Sched: s})
+		if err != nil {
+			return fleet.Result{}, err
+		}
+		_ = r.Render() // rendering is part of what the study times
+		return fleet.Result{ElapsedSeconds: time.Since(et).Seconds()}, nil
+	})
+	sb, _ := json.Marshal(counters(s.Stats()))
+	sum := fleet.Summary{
+		Worker:      index,
+		PID:         os.Getpid(),
+		Experiments: ran,
+		WallSeconds: time.Since(t0).Seconds(),
+		Sched:       sb,
+	}
+	if err := sh.WriteSummary(sum); err != nil {
+		logger.Error("fleet worker summary write failed", "worker", index, "err", err)
+		return 1
+	}
+	if workErr != nil {
+		logger.Error("fleet worker stopped early", "worker", index, "err", workErr)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	var (
 		kernel     = flag.String("kernel", "histo", "workload kernel to simulate")
@@ -332,6 +468,13 @@ func main() {
 		out        = flag.String("out", "", "write JSON to this file instead of stdout")
 		compare    = flag.String("compare", "", "compare against a previous report (JSON file); exit non-zero on a >10% per-config throughput regression")
 		storeDir   = flag.String("store", "", "attach a persistent result store under the -study scheduled phases (disk hits are counted in the report)")
+		fleetSpec  = flag.String("fleet", "", "comma-separated worker counts (e.g. \"1,2,4\"): with -study, time cold multi-process sweeps, each over a fresh temp store shared by N worker processes")
+
+		// Internal worker-mode flags, set when this binary re-executes
+		// itself as a fleet worker. Not for direct use.
+		fleetDir   = flag.String("fleet-dir", "", "internal: run as a fleet worker against this shard directory")
+		fleetIndex = flag.Int("fleet-index", 0, "internal: this fleet worker's index")
+		fleetStore = flag.String("fleet-store", "", "internal: the fleet worker's shared store directory")
 	)
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
@@ -341,6 +484,10 @@ func main() {
 	// -out (valid JSON, just fewer blocks) instead of dying mid-write.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *fleetDir != "" {
+		os.Exit(runBenchFleetWorker(ctx, logger, *fleetDir, *fleetIndex, *studyScale, *fleetStore))
+	}
 
 	k, err := workload.ByName(*kernel, *scale)
 	if err != nil {
@@ -425,6 +572,34 @@ func main() {
 				"wall", fmt.Sprintf("%.1fs", r.WallSeconds),
 				"speedup_vs_serial", fmt.Sprintf("%.2fx", r.SpeedupVsSerial),
 				"simulated", r.Sched.Misses, "cached", r.Sched.Hits, "joined", r.Sched.Joins)
+		}
+		if *fleetSpec != "" {
+			var workerCounts []int
+			for _, f := range strings.Split(*fleetSpec, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "carfbench: bad -fleet worker count %q\n", f)
+					os.Exit(1)
+				}
+				workerCounts = append(workerCounts, n)
+			}
+			fleetResults, err := runFleetPhases(ctx, logger, workerCounts, *studyScale, results[0].WallSeconds)
+			if err != nil {
+				if ctx.Err() != nil {
+					logger.Error("interrupted, flushing partial report")
+					writeReport(rep, *out)
+					os.Exit(1)
+				}
+				fmt.Fprintln(os.Stderr, "carfbench:", err)
+				os.Exit(1)
+			}
+			rep.Study = append(rep.Study, fleetResults...)
+			for _, r := range fleetResults {
+				logger.Info("study configuration timed", "study", r.Name,
+					"wall", fmt.Sprintf("%.1fs", r.WallSeconds),
+					"speedup_vs_serial", fmt.Sprintf("%.2fx", r.SpeedupVsSerial),
+					"simulated", r.Sched.Misses, "disk", r.Sched.DiskHits, "peer", r.Sched.PeerHits)
+			}
 		}
 	}
 

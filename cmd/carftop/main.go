@@ -79,8 +79,8 @@ func fetch(client *http.Client, url string) (telemetry.RunsDocument, error) {
 func render(w *os.File, addr string, doc telemetry.RunsDocument) {
 	fmt.Fprintf(w, "carftop — %s — %s\n", addr, time.Now().Format("15:04:05"))
 	if s := doc.Sched; s != nil {
-		fmt.Fprintf(w, "sched: %d workers  runs %d  sim %d  mem-hits %d  disk-hits %d  joins %d  canceled %d  errors %d  cache %d\n",
-			s.Workers, s.Runs, s.Misses, s.Hits, s.DiskHits, s.Joins, s.Canceled, s.Errors, s.CacheEntries)
+		fmt.Fprintf(w, "sched: %d workers  runs %d  sim %d  mem-hits %d  disk-hits %d  peer-hits %d  joins %d  canceled %d  errors %d  cache %d\n",
+			s.Workers, s.Runs, s.Misses, s.Hits, s.DiskHits, s.PeerHits, s.Joins, s.Canceled, s.Errors, s.CacheEntries)
 	}
 	fmt.Fprintf(w, "\nIN FLIGHT (%d)\n", len(doc.InFlight))
 	fmt.Fprintf(w, "  %-6s %-34s %-9s %-22s %9s %8s %9s\n", "ID", "LABEL", "STATE", "PROGRESS", "MINST/S", "IIPC", "ETA")

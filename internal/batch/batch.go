@@ -15,6 +15,7 @@ package batch
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"sync"
@@ -124,15 +125,35 @@ func (e *Executor) drive() {
 // flags of their own.
 const EnvVar = "CARF_BATCH"
 
-// EnvWidth reads EnvVar. Unparsable values fall back to scalar (1).
+// MaxEnvWidth caps EnvVar: each lane in a lockstep batch parks a full
+// simulation (pipeline state + goroutine), so widths beyond this are a
+// typo ("4096" for "4"), not a plan.
+const MaxEnvWidth = 1024
+
+// EnvWidth reads EnvVar. Malformed or out-of-range values never
+// silently misbehave: they fall back to scalar (1) — or clamp to
+// MaxEnvWidth — with a logged warning saying what was rejected.
 func EnvWidth() int {
-	v := os.Getenv(EnvVar)
+	return envWidth(os.Getenv(EnvVar), slog.Default())
+}
+
+// envWidth is EnvWidth with its inputs injected, for tests.
+func envWidth(v string, log *slog.Logger) int {
 	if v == "" {
 		return 1
 	}
 	n, err := strconv.Atoi(v)
-	if err != nil || n < 1 {
+	switch {
+	case err != nil:
+		log.Warn("batch: ignoring malformed "+EnvVar+" (want an integer width); running scalar",
+			"value", v, "err", err)
 		return 1
+	case n < 1:
+		log.Warn("batch: ignoring non-positive "+EnvVar+"; running scalar", "value", v)
+		return 1
+	case n > MaxEnvWidth:
+		log.Warn("batch: clamping oversized "+EnvVar, "value", v, "max", MaxEnvWidth)
+		return MaxEnvWidth
 	}
 	return n
 }

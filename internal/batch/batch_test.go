@@ -1,7 +1,9 @@
 package batch
 
 import (
+	"bytes"
 	"errors"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -111,7 +113,29 @@ func TestEnvWidth(t *testing.T) {
 	for _, tc := range []struct {
 		val  string
 		want int
-	}{{"", 1}, {"0", 1}, {"-3", 1}, {"junk", 1}, {"1", 1}, {"8", 8}} {
+		warn bool // a rejected/clamped value must say so
+	}{
+		{"", 1, false},
+		{"1", 1, false},
+		{"8", 8, false},
+		{"1024", 1024, false},
+		{"0", 1, true},
+		{"-3", 1, true},
+		{"junk", 1, true},
+		{"4.5", 1, true},
+		{" 8", 1, true},
+		{"99999999999999999999", 1, true}, // overflows int: malformed, not huge
+		{"4096", MaxEnvWidth, true},       // oversized: clamped, not ignored
+	} {
+		var buf bytes.Buffer
+		log := slog.New(slog.NewTextHandler(&buf, nil))
+		if got := envWidth(tc.val, log); got != tc.want {
+			t.Errorf("envWidth(%q) = %d, want %d", tc.val, got, tc.want)
+		}
+		if warned := bytes.Contains(buf.Bytes(), []byte(EnvVar)); warned != tc.warn {
+			t.Errorf("envWidth(%q) warned=%v, want %v (log: %s)", tc.val, warned, tc.warn, buf.String())
+		}
+		// The env-reading wrapper must agree with the injected core.
 		t.Setenv(EnvVar, tc.val)
 		if got := EnvWidth(); got != tc.want {
 			t.Errorf("EnvWidth(%q) = %d, want %d", tc.val, got, tc.want)

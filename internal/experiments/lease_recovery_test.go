@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"carf/internal/sched"
+	"carf/internal/store"
+)
+
+// TestCrashHelperSimulate is not a test: it is the worker half of
+// TestLeaseTakeoverAfterWorkerKill, re-executed as a child process. It
+// opens the shared store and simulates table2; the parent SIGKILLs it
+// while it holds a per-simulation lease.
+func TestCrashHelperSimulate(t *testing.T) {
+	dir := os.Getenv("CARF_CRASH_HELPER_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestLeaseTakeoverAfterWorkerKill")
+	}
+	st, err := store.Open(store.Options{Dir: dir, Schema: StoreSchema, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(1)
+	s.SetTier(st)
+	_, _ = Run("table2", Options{Scale: determinismScale, Sched: s})
+}
+
+// TestLeaseTakeoverAfterWorkerKill is the cross-process crash gate: a
+// worker process SIGKILLed mid-simulation leaves its lease file behind
+// with a frozen heartbeat. A surviving process sweeping the same store
+// must classify that lease stale, take it over, re-simulate, and
+// produce output byte-identical to a serial run that never saw the
+// crash.
+func TestLeaseTakeoverAfterWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills a child simulation process")
+	}
+	const exp = "table2"
+	want := render(t, exp, Options{Scale: determinismScale, Sched: sched.New(1)})
+
+	// The kill races the victim's own progress: land it between two
+	// simulations (release → next claim) and no lease survives. Retry
+	// with a fresh store until a stale lease is actually left behind.
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dir string
+	killed := false
+	for attempt := 0; attempt < 5 && !killed; attempt++ {
+		dir = t.TempDir()
+		cmd := exec.Command(self, "-test.run", "^TestCrashHelperSimulate$")
+		cmd.Env = append(os.Environ(), "CARF_CRASH_HELPER_DIR="+dir)
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		leaseGlob := filepath.Join(dir, "schema-*", "leases", "*.lease")
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if m, _ := filepath.Glob(leaseGlob); len(m) > 0 {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		cmd.Process.Kill() // SIGKILL: no release, no heartbeat, lease frozen
+		cmd.Wait()         //nolint:errcheck // "signal: killed" is the point
+		if m, _ := filepath.Glob(leaseGlob); len(m) > 0 {
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatal("could not catch the worker holding a lease in 5 attempts")
+	}
+
+	// The survivor: a short timeout so the dead worker's lease turns
+	// stale within the test, and a fast poll so the wait is tight.
+	st, err := store.Open(store.Options{
+		Dir:          dir,
+		Schema:       StoreSchema,
+		Logger:       quietLogger(),
+		LeaseTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := sched.New(2)
+	s.SetTier(st)
+	s.SetPeerPollInterval(5 * time.Millisecond)
+
+	got := render(t, exp, Options{Scale: determinismScale, Sched: s})
+	if got != want {
+		t.Fatalf("post-crash render differs from serial:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if sst := st.Stats(); sst.LeaseTakeovers == 0 {
+		t.Errorf("store stats = %+v, want at least one stale-lease takeover", sst)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "schema-*", "leases", "*.lease")); len(m) != 0 {
+		t.Errorf("lease files left after recovery: %v", m)
+	}
+}

@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestClaimIsExclusive(t *testing.T) {
+	sh, err := NewShard(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Cleanup()
+
+	// Many concurrent claimants, one winner per name — the property the
+	// whole sharding scheme rests on.
+	const claimants = 16
+	var wins sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < claimants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if sh.Claim("table2") {
+				wins.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	wins.Range(func(any, any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("%d claimants won %q, want exactly 1", n, "table2")
+	}
+	if sh.Claim("table3") != true {
+		t.Error("claim on an unrelated name denied")
+	}
+}
+
+func TestWorkShardsInSuiteOrder(t *testing.T) {
+	root := t.TempDir()
+	sh, err := NewShard(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d"}
+
+	// Pre-claim "b" as a peer worker would; this worker must skip it.
+	peer := OpenShard(sh.Dir)
+	if !peer.Claim("b") {
+		t.Fatal("peer pre-claim failed")
+	}
+
+	ran, err := sh.Work(context.Background(), names, func(name string) (Result, error) {
+		if name == "c" {
+			return Result{}, errors.New("boom")
+		}
+		return Result{Text: "out:" + name, ElapsedSeconds: 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "c", "d"}
+	if fmt.Sprint(ran) != fmt.Sprint(want) {
+		t.Fatalf("ran = %v, want %v (suite order, skipping the peer's claim)", ran, want)
+	}
+
+	// "a" and "d" have results; "c" is a recorded failure; "b" has
+	// neither (its worker never finished) — Load's three outcomes.
+	if r, ok, err := sh.Load("a"); !ok || err != nil || r.Text != "out:a" {
+		t.Errorf("Load(a) = %+v, %v, %v", r, ok, err)
+	}
+	if _, ok, err := sh.Load("c"); ok || err == nil {
+		t.Errorf("Load(c): ok=%v err=%v, want recorded failure", ok, err)
+	}
+	if _, ok, err := sh.Load("b"); ok || err != nil {
+		t.Errorf("Load(b): ok=%v err=%v, want not-run (orphaned claim)", ok, err)
+	}
+}
+
+func TestLoadToleratesTornResult(t *testing.T) {
+	sh, err := NewShard(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn/foreign result file must read as "not run", so the parent's
+	// recovery sweep re-runs the experiment instead of crashing the merge.
+	if err := os.WriteFile(filepath.Join(sh.Dir, "x.json"), []byte(`{"name":"x","te`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := sh.Load("x"); ok || err != nil {
+		t.Errorf("Load on torn file: ok=%v err=%v, want not-run", ok, err)
+	}
+}
+
+func TestWriteResultIsAtomic(t *testing.T) {
+	sh, err := NewShard(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.WriteResult(Result{Name: "r", Text: "body"}); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files may survive the write.
+	tmps, _ := filepath.Glob(filepath.Join(sh.Dir, "*.tmp-*"))
+	if len(tmps) != 0 {
+		t.Errorf("leftover temp files: %v", tmps)
+	}
+	if r, ok, err := sh.Load("r"); !ok || err != nil || r.Text != "body" {
+		t.Errorf("Load(r) = %+v, %v, %v", r, ok, err)
+	}
+}
+
+func TestSafeNameCannotEscapeShard(t *testing.T) {
+	sh, err := NewShard(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := "../../etc/passwd"
+	if !sh.Claim(hostile) {
+		t.Fatal("claim failed")
+	}
+	matches, _ := filepath.Glob(filepath.Join(sh.Dir, "*.claim"))
+	if len(matches) != 1 {
+		t.Fatalf("claim landed outside the shard dir: %v", matches)
+	}
+}
+
+func TestSummariesRoundTrip(t *testing.T) {
+	sh, err := NewShard(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sh.WriteSummary(Summary{Worker: i, PID: 100 + i, Experiments: []string{fmt.Sprint(i)}, WallSeconds: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sh.Summaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Summaries = %d entries, want 3", len(got))
+	}
+}
+
+func TestWorkStopsOnCanceledContext(t *testing.T) {
+	sh, err := NewShard(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran, err := sh.Work(ctx, []string{"a", "b"}, func(string) (Result, error) {
+		t.Error("ran an experiment under a canceled context")
+		return Result{}, nil
+	})
+	if err == nil || len(ran) != 0 {
+		t.Errorf("Work under canceled ctx: ran=%v err=%v, want none + ctx error", ran, err)
+	}
+}

@@ -83,6 +83,11 @@ const (
 	// available (while queued for a worker slot, or while joined to an
 	// in-flight run that had not finished yet).
 	Canceled
+	// PeerHit: another *process* sharing the persistent tier held the
+	// cross-process lease for this key (see Locker); this call waited
+	// for the peer's blob to land instead of simulating. The
+	// cross-process analogue of Joined.
+	PeerHit
 )
 
 func (o Outcome) String() string {
@@ -97,6 +102,8 @@ func (o Outcome) String() string {
 		return "disk-hit"
 	case Canceled:
 		return "canceled"
+	case PeerHit:
+		return "peer-hit"
 	}
 	return fmt.Sprintf("Outcome(%d)", uint8(o))
 }
@@ -110,6 +117,13 @@ type Provenance struct {
 	Key       Key           // content digest of the request (correlation id)
 	QueueWait time.Duration // Do entry until a worker slot was acquired
 	SimWall   time.Duration // wall time inside the simulation function
+
+	// LeaseWait is the time spent waiting on another process's
+	// cross-process lease for this key: the full wait for PeerHit
+	// outcomes (the peer's result landed), or the wait before a stale
+	// lease was taken over for misses that had to contend. Zero when no
+	// Locker is attached or the lease was free.
+	LeaseWait time.Duration
 
 	// Exec names the execution engine that served a miss ("" = the
 	// default scalar loop, "batch<N>" = the lockstep batch executor).
@@ -127,12 +141,14 @@ type Stats struct {
 	Hits         uint64 // runs served from the in-memory cache
 	Joins        uint64 // runs that joined an in-flight execution
 	DiskHits     uint64 // runs served from the persistent tier
+	PeerHits     uint64 // runs served by a peer process via the shared tier
 	Canceled     uint64 // runs abandoned by their context before a result
 	Evictions    uint64 // memory-cache entries evicted by the LRU bound
 	Errors       uint64 // simulations that returned an error (never cached)
 
 	QueueWait time.Duration // cumulative worker-slot wait over misses
 	SimWall   time.Duration // cumulative simulation wall time over misses
+	LeaseWait time.Duration // cumulative cross-process lease wait (peer hits + contended misses)
 }
 
 // Delta returns st minus prev, for measuring one phase of a scheduler's
@@ -144,11 +160,13 @@ func (st Stats) Delta(prev Stats) Stats {
 	st.Hits -= prev.Hits
 	st.Joins -= prev.Joins
 	st.DiskHits -= prev.DiskHits
+	st.PeerHits -= prev.PeerHits
 	st.Canceled -= prev.Canceled
 	st.Evictions -= prev.Evictions
 	st.Errors -= prev.Errors
 	st.QueueWait -= prev.QueueWait
 	st.SimWall -= prev.SimWall
+	st.LeaseWait -= prev.LeaseWait
 	return st
 }
 
@@ -178,9 +196,9 @@ type Observer interface {
 // All methods are safe for concurrent use; a nil *Tally ignores Record,
 // so threading one through is optional at every level.
 type Tally struct {
-	runs, hits, misses, joins atomic.Uint64
-	diskHits, canceled, errs  atomic.Uint64
-	queueWaitNs, simWallNs    atomic.Int64
+	runs, hits, misses, joins           atomic.Uint64
+	diskHits, peerHits, canceled, errs  atomic.Uint64
+	queueWaitNs, simWallNs, leaseWaitNs atomic.Int64
 }
 
 // Record counts one served request.
@@ -189,6 +207,7 @@ func (t *Tally) Record(p Provenance, err error) {
 		return
 	}
 	t.runs.Add(1)
+	t.leaseWaitNs.Add(int64(p.LeaseWait))
 	switch p.Outcome {
 	case Hit:
 		t.hits.Add(1)
@@ -196,6 +215,8 @@ func (t *Tally) Record(p Provenance, err error) {
 		t.joins.Add(1)
 	case DiskHit:
 		t.diskHits.Add(1)
+	case PeerHit:
+		t.peerHits.Add(1)
 	case Canceled:
 		t.canceled.Add(1)
 	case Miss:
@@ -221,10 +242,12 @@ func (t *Tally) Stats() Stats {
 		Hits:      t.hits.Load(),
 		Joins:     t.joins.Load(),
 		DiskHits:  t.diskHits.Load(),
+		PeerHits:  t.peerHits.Load(),
 		Canceled:  t.canceled.Load(),
 		Errors:    t.errs.Load(),
 		QueueWait: time.Duration(t.queueWaitNs.Load()),
 		SimWall:   time.Duration(t.simWallNs.Load()),
+		LeaseWait: time.Duration(t.leaseWaitNs.Load()),
 	}
 }
 
@@ -241,6 +264,26 @@ type Tier interface {
 	Load(key Key) (val any, ok bool)
 	// Store persists a successful run's value under key (best effort).
 	Store(key Key, val any)
+}
+
+// Locker coordinates cross-process singleflight over a shared persistent
+// tier: before simulating a memory-and-disk miss, the scheduler claims
+// the key's cross-process lease; losers poll the tier for the winner's
+// result (Outcome PeerHit) instead of duplicating the simulation.
+//
+// TryLock must be non-blocking apart from local filesystem operations:
+// ok=true hands the caller the exclusive right to simulate key (release
+// MUST then be called exactly once, after the result has been offered to
+// the tier); ok=false means another live process holds the lease right
+// now. Staleness is the implementation's concern — TryLock takes over a
+// crashed peer's lease internally and then reports ok=true. An
+// implementation that cannot coordinate (no shared directory, degraded
+// disk) must return a no-op release and ok=true: uncoordinated
+// duplicate simulation is always safe, only wasteful, because tier blob
+// writes are atomic and results are deterministic. The store package's
+// blob store is the canonical implementation.
+type Locker interface {
+	TryLock(key Key) (release func(), ok bool)
 }
 
 // entry is one execution: in flight until done is closed, then an
@@ -271,7 +314,8 @@ type Scheduler struct {
 	lruPos   map[Key]*list.Element
 	cacheCap int
 
-	tier Tier // persistent second-level cache; nil when not attached
+	tier   Tier   // persistent second-level cache; nil when not attached
+	locker Locker // cross-process singleflight; nil when not attached
 
 	stats Stats
 	seq   uint64 // next run id handed to the observer
@@ -281,6 +325,11 @@ type Scheduler struct {
 	// progressEvery is the minimum wall-clock gap between forwarded
 	// progress frames per run, in nanoseconds (SetProgressInterval).
 	progressEvery atomic.Int64
+
+	// peerPoll is the interval, in nanoseconds, at which a run that lost
+	// the cross-process lease re-probes the tier for the winner's result
+	// (SetPeerPollInterval).
+	peerPoll atomic.Int64
 
 	// execLabel names the execution engine misses run under; stamped
 	// into Provenance.Exec (SetExecLabel).
@@ -316,6 +365,7 @@ func New(workers int) *Scheduler {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.progressEvery.Store(int64(DefaultProgressInterval))
+	s.peerPoll.Store(int64(DefaultPeerPollInterval))
 	s.reg = metrics.NewRegistry()
 	snap := func(f func(Stats) float64) func() float64 {
 		return func() float64 { return f(s.Stats()) }
@@ -327,16 +377,18 @@ func New(workers int) *Scheduler {
 	s.reg.GaugeFunc("sched.hits", snap(func(st Stats) float64 { return float64(st.Hits) }))
 	s.reg.GaugeFunc("sched.joins", snap(func(st Stats) float64 { return float64(st.Joins) }))
 	s.reg.GaugeFunc("sched.disk_hits", snap(func(st Stats) float64 { return float64(st.DiskHits) }))
+	s.reg.GaugeFunc("sched.peer_hits", snap(func(st Stats) float64 { return float64(st.PeerHits) }))
 	s.reg.GaugeFunc("sched.canceled", snap(func(st Stats) float64 { return float64(st.Canceled) }))
 	s.reg.GaugeFunc("sched.evictions", snap(func(st Stats) float64 { return float64(st.Evictions) }))
 	s.reg.GaugeFunc("sched.errors", snap(func(st Stats) float64 { return float64(st.Errors) }))
 	s.reg.GaugeFunc("sched.queue_wait_ms", snap(func(st Stats) float64 { return float64(st.QueueWait) / float64(time.Millisecond) }))
 	s.reg.GaugeFunc("sched.sim_wall_ms", snap(func(st Stats) float64 { return float64(st.SimWall) / float64(time.Millisecond) }))
+	s.reg.GaugeFunc("sched.lease_wait_ms", snap(func(st Stats) float64 { return float64(st.LeaseWait) / float64(time.Millisecond) }))
 	s.reg.GaugeFunc("sched.hit_rate", snap(func(st Stats) float64 {
 		if st.Runs == 0 {
 			return 0
 		}
-		return float64(st.Hits+st.Joins+st.DiskHits) / float64(st.Runs)
+		return float64(st.Hits+st.Joins+st.DiskHits+st.PeerHits) / float64(st.Runs)
 	}))
 	s.queueHist = s.reg.SyncHistogram("sched.queue_wait_seconds", latencyBounds)
 	s.simHist = s.reg.SyncHistogram("sched.sim_wall_seconds", latencyBounds)
@@ -373,11 +425,43 @@ func (s *Scheduler) SetExecLabel(label string) {
 
 // SetTier attaches (or, with nil, detaches) the persistent result tier.
 // Attach before submitting work; values already cached in memory are
-// not retroactively persisted.
+// not retroactively persisted. A tier that also implements Locker is
+// attached as the cross-process lease coordinator in the same call, so
+// N processes sharing one store directory never duplicate a simulation
+// — SetLocker afterwards overrides that default.
 func (s *Scheduler) SetTier(t Tier) {
 	s.mu.Lock()
 	s.tier = t
+	if l, ok := t.(Locker); ok {
+		s.locker = l
+	} else {
+		s.locker = nil
+	}
 	s.mu.Unlock()
+}
+
+// SetLocker attaches (or, with nil, detaches) the cross-process lease
+// coordinator, overriding the one SetTier derived from the tier.
+func (s *Scheduler) SetLocker(l Locker) {
+	s.mu.Lock()
+	s.locker = l
+	s.mu.Unlock()
+}
+
+// DefaultPeerPollInterval is how often a run that lost the
+// cross-process lease re-probes the tier for the winner's result. Short
+// enough that a peer hit adds little latency over the peer's own
+// simulation wall; long enough that a fleet of waiters does not hammer
+// the shared directory.
+const DefaultPeerPollInterval = 25 * time.Millisecond
+
+// SetPeerPollInterval tunes the lease-wait re-probe period (d <= 0
+// restores the default). Tests shorten it.
+func (s *Scheduler) SetPeerPollInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultPeerPollInterval
+	}
+	s.peerPoll.Store(int64(d))
 }
 
 // SetCacheCap bounds the in-memory memo cache to n completed runs,
@@ -609,6 +693,7 @@ func (s *Scheduler) DoProgress(ctx context.Context, key Key, label string, cache
 		s.inflight[key] = e
 	}
 	tier := s.tier
+	locker := s.locker
 	// Announce before the tier probe and the slot wait so telemetry sees
 	// the run queued, not just running. The in-flight entry is already
 	// registered, so dedup keeps working while the lock is dropped.
@@ -637,6 +722,70 @@ func (s *Scheduler) DoProgress(ctx context.Context, key Key, label string, cache
 		}
 	}
 
+	// Cross-process singleflight: claim the key's lease before taking a
+	// worker slot. Losing means a live peer process is simulating this
+	// key right now — wait for its blob to land in the shared tier (the
+	// cross-process analogue of joining an in-flight run) instead of
+	// duplicating the work. A peer that crashes mid-simulation stops
+	// heartbeating; TryLock takes its stale lease over internally and
+	// this call proceeds as an ordinary miss.
+	var release func() // non-nil once the lease is held
+	var leaseWait time.Duration
+	if cacheable && locker != nil {
+		leaseStart := time.Now()
+		poll := time.Duration(s.peerPoll.Load())
+		for {
+			if r, ok := locker.TryLock(key); ok {
+				release = r
+				leaseWait = time.Since(leaseStart)
+				break
+			}
+			select {
+			case <-ctx.Done():
+				// Same contract as cancellation while queued: resolve the
+				// entry with the error so in-process joiners unblock and a
+				// later request retries.
+				err := fmt.Errorf("sched: run %s canceled waiting on a peer's lease: %w", key.Short(), ctx.Err())
+				s.mu.Lock()
+				s.stats.Canceled++
+				s.stats.LeaseWait += time.Since(leaseStart)
+				delete(s.inflight, key)
+				e.err = err
+				s.mu.Unlock()
+				close(e.done)
+				p := Provenance{Outcome: Canceled, Key: key, LeaseWait: time.Since(leaseStart)}
+				if obs != nil {
+					obs.RunFinished(id, p, err)
+				}
+				return nil, p, err
+			case <-time.After(poll):
+			}
+			if tier != nil {
+				if v, ok := tier.Load(key); ok {
+					// The peer finished and its blob verified: serve it.
+					leaseWait = time.Since(leaseStart)
+					e.val = v
+					s.mu.Lock()
+					delete(s.inflight, key)
+					s.cacheInsert(key, e)
+					s.stats.PeerHits++
+					s.stats.LeaseWait += leaseWait
+					s.mu.Unlock()
+					close(e.done)
+					p := Provenance{Outcome: PeerHit, Key: key, LeaseWait: leaseWait}
+					if obs != nil {
+						obs.RunFinished(id, p, nil)
+					}
+					return v, p, nil
+				}
+			}
+			// No blob yet: either the peer is still simulating (its lease
+			// is fresh — TryLock keeps failing) or it died or errored
+			// (lease gone or stale — TryLock succeeds and this process
+			// simulates).
+		}
+	}
+
 	if done := ctx.Done(); done != nil {
 		// The pool wait below sleeps on a sync.Cond; wake it when the
 		// context expires so the cancellation check runs.
@@ -661,7 +810,12 @@ func (s *Scheduler) DoProgress(ctx context.Context, key Key, label string, cache
 		e.err = fmt.Errorf("sched: run %s canceled while queued: %w", key.Short(), err)
 		s.mu.Unlock()
 		close(e.done)
-		p := Provenance{Outcome: Canceled, Key: key}
+		if release != nil {
+			// Nothing was stored; dropping the lease lets a peer (or a
+			// retry here) claim the key and simulate it.
+			release()
+		}
+		p := Provenance{Outcome: Canceled, Key: key, LeaseWait: leaseWait}
 		if obs != nil {
 			obs.RunFinished(id, p, e.err)
 		}
@@ -669,6 +823,7 @@ func (s *Scheduler) DoProgress(ctx context.Context, key Key, label string, cache
 	}
 	s.busy++
 	s.stats.Misses++
+	s.stats.LeaseWait += leaseWait
 	queueWait := time.Since(start)
 	s.stats.QueueWait += queueWait
 	s.mu.Unlock()
@@ -705,10 +860,17 @@ func (s *Scheduler) DoProgress(ctx context.Context, key Key, label string, cache
 		// Persist outside the lock; the tier absorbs its own failures.
 		tier.Store(key, e.val)
 	}
+	if release != nil {
+		// Release only after the result was offered to the tier: a lease
+		// waiter that sees the lease vanish must find the blob (or learn,
+		// by winning the lease, that it has to simulate — the store path
+		// failed or the run errored).
+		release()
+	}
 	s.mu.Lock()
 	execLabel := s.execLabel
 	s.mu.Unlock()
-	p := Provenance{Outcome: Miss, Key: key, QueueWait: queueWait, SimWall: simWall, Exec: execLabel}
+	p := Provenance{Outcome: Miss, Key: key, QueueWait: queueWait, SimWall: simWall, LeaseWait: leaseWait, Exec: execLabel}
 	if obs != nil {
 		obs.RunFinished(id, p, e.err)
 	}

@@ -186,6 +186,7 @@ type jobSched struct {
 	Misses   uint64 `json:"simulated"`
 	Hits     uint64 `json:"mem_hits"`
 	DiskHits uint64 `json:"disk_hits"`
+	PeerHits uint64 `json:"peer_hits"`
 	Joins    uint64 `json:"joins"`
 	Canceled uint64 `json:"canceled"`
 	Errors   uint64 `json:"errors"`
@@ -535,7 +536,7 @@ func (d *Daemon) finish(j *Job, text string, st sched.Stats, err error) {
 	j.Finished = &now
 	j.Sched = &jobSched{
 		Runs: st.Runs, Misses: st.Misses, Hits: st.Hits,
-		DiskHits: st.DiskHits, Joins: st.Joins, Canceled: st.Canceled, Errors: st.Errors,
+		DiskHits: st.DiskHits, PeerHits: st.PeerHits, Joins: st.Joins, Canceled: st.Canceled, Errors: st.Errors,
 	}
 	switch {
 	case err == nil:
@@ -567,6 +568,8 @@ func (d *Daemon) finish(j *Job, text string, st sched.Stats, err error) {
 			frame.Note = "served from the persistent tier (disk hit) — no simulation ran, no progress frames"
 		case st.Hits > 0:
 			frame.Note = "served from the in-memory cache — no simulation ran, no progress frames"
+		case st.PeerHits > 0:
+			frame.Note = "served by a peer process sharing the store — it simulated, this daemon waited on its lease"
 		case st.Joins > 0:
 			frame.Note = "joined an identical in-flight run — progress was reported on the leader's stream"
 		}

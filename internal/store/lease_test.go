@@ -1,0 +1,207 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// leaseFiles globs the store directory's lease files.
+func leaseFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "schema-*", "leases", "*.lease"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestLeaseAcquireAndRelease(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	defer s.Close()
+
+	release, ok := s.TryLock(key(1))
+	if !ok {
+		t.Fatal("TryLock on a fresh key: denied, want granted")
+	}
+	if got := leaseFiles(t, dir); len(got) != 1 {
+		t.Fatalf("lease files while held = %v, want exactly 1", got)
+	}
+	release()
+	release() // idempotent: callers route through sync.Once anyway, but double-release must be safe
+	if got := leaseFiles(t, dir); len(got) != 0 {
+		t.Fatalf("lease files after release = %v, want none", got)
+	}
+	if st := s.Stats(); st.LeasesAcquired != 1 || st.LeaseLosses != 0 || st.LeaseTakeovers != 0 {
+		t.Errorf("stats = %+v, want 1 acquired, 0 losses, 0 takeovers", st)
+	}
+}
+
+func TestLeaseLossWhileHeld(t *testing.T) {
+	dir := t.TempDir()
+	holder := open(t, dir)
+	defer holder.Close()
+	peer := open(t, dir)
+	defer peer.Close()
+
+	release, ok := holder.TryLock(key(2))
+	if !ok {
+		t.Fatal("holder TryLock denied")
+	}
+	defer release()
+
+	if _, ok := peer.TryLock(key(2)); ok {
+		t.Fatal("peer TryLock granted while a live holder heartbeats")
+	}
+	if st := peer.Stats(); st.LeaseLosses != 1 {
+		t.Errorf("peer stats = %+v, want 1 lease loss", st)
+	}
+	// A different key is independent.
+	if rel, ok := peer.TryLock(key(3)); !ok {
+		t.Error("peer TryLock on an unrelated key denied")
+	} else {
+		rel()
+	}
+}
+
+func TestStaleLeaseTakeover(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, func(o *Options) { o.LeaseTimeout = 50 * time.Millisecond })
+	defer s.Close()
+
+	// Learn the key's lease path by claiming it once, then plant a
+	// "crashed holder" file there: a lease body whose mtime sits long
+	// past the timeout — a dead process heartbeats no more.
+	release, ok := s.TryLock(key(4))
+	if !ok {
+		t.Fatal("setup TryLock denied")
+	}
+	files := leaseFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("lease files = %v, want exactly 1", files)
+	}
+	path := files[0]
+	release()
+
+	if err := os.WriteFile(path, []byte(`{"pid":1,"token":"gone"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	release, ok = s.TryLock(key(4))
+	if !ok {
+		t.Fatal("TryLock over a stale lease denied, want takeover + grant")
+	}
+	defer release()
+	if st := s.Stats(); st.LeaseTakeovers != 1 || st.LeasesAcquired != 2 {
+		t.Errorf("stats = %+v, want 1 takeover, 2 acquired", st)
+	}
+}
+
+func TestHeartbeatKeepsLeaseFresh(t *testing.T) {
+	dir := t.TempDir()
+	holder := open(t, dir, func(o *Options) { o.LeaseTimeout = 40 * time.Millisecond })
+	defer holder.Close()
+	peer := open(t, dir, func(o *Options) { o.LeaseTimeout = 40 * time.Millisecond })
+	defer peer.Close()
+
+	release, ok := holder.TryLock(key(5))
+	if !ok {
+		t.Fatal("holder TryLock denied")
+	}
+	defer release()
+
+	// Hold well past the timeout: heartbeats (every timeout/4) must keep
+	// the lease looking live, so the peer keeps losing rather than
+	// taking over.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, ok := peer.TryLock(key(5)); ok {
+			t.Fatal("peer took over a lease whose holder was heartbeating")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := peer.Stats(); st.LeaseTakeovers != 0 {
+		t.Errorf("peer stats = %+v, want 0 takeovers", st)
+	}
+}
+
+func TestReleaseAfterTakeoverSparesSuccessor(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, func(o *Options) { o.LeaseTimeout = 50 * time.Millisecond })
+	defer s.Close()
+
+	oldRelease, ok := s.TryLock(key(6))
+	if !ok {
+		t.Fatal("first TryLock denied")
+	}
+	// Simulate the holder stalling: age the lease past the timeout so a
+	// contender takes it over and installs its own lease.
+	lp := leaseFiles(t, dir)
+	if len(lp) != 1 {
+		t.Fatalf("lease files = %v", lp)
+	}
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(lp[0], old, old); err != nil {
+		t.Fatal(err)
+	}
+	newRelease, ok := s.TryLock(key(6))
+	if !ok {
+		t.Fatal("takeover TryLock denied")
+	}
+	defer newRelease()
+
+	// The stalled holder's release must not delete the successor's lease
+	// (token mismatch).
+	oldRelease()
+	if got := leaseFiles(t, dir); len(got) != 1 {
+		t.Fatalf("lease files after stalled holder's release = %v, want the successor's lease intact", got)
+	}
+}
+
+func TestMemoryOnlyStoreGrantsUncoordinated(t *testing.T) {
+	s := open(t, "") // memory-only by choice
+	defer s.Close()
+	r1, ok1 := s.TryLock(key(7))
+	r2, ok2 := s.TryLock(key(7))
+	if !ok1 || !ok2 {
+		t.Fatal("memory-only TryLock denied; must grant uncoordinated claims")
+	}
+	r1()
+	r2()
+	if st := s.Stats(); st.LeasesAcquired != 0 {
+		t.Errorf("stats = %+v, want no coordination counters on a memory-only store", st)
+	}
+}
+
+func TestLeaseReadingsExported(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	defer s.Close()
+	rel, ok := s.TryLock(key(8))
+	if !ok {
+		t.Fatal("TryLock denied")
+	}
+	rel()
+	want := map[string]float64{
+		"store.leases_acquired_total": 1,
+		"store.lease_losses_total":    0,
+		"store.lease_takeovers_total": 0,
+	}
+	for _, r := range s.Readings() {
+		if v, exists := want[r.Name]; exists {
+			if r.Value != v {
+				t.Errorf("%s = %v, want %v", r.Name, r.Value, v)
+			}
+			delete(want, r.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("reading %s not exported", name)
+	}
+}

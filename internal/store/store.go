@@ -39,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"carf/internal/metrics"
 	"carf/internal/sched"
@@ -101,6 +102,13 @@ type Options struct {
 	// Logger receives degradation and quarantine reports (default
 	// slog.Default()).
 	Logger *slog.Logger
+
+	// LeaseTimeout is how long a cross-process lease may go without a
+	// heartbeat before another process may take it over (see TryLock).
+	// 0 takes DefaultLeaseTimeout. Lower it only in tests: a takeover of
+	// a *live* holder duplicates work (never corrupts — blob writes stay
+	// atomic and results are deterministic).
+	LeaseTimeout time.Duration
 }
 
 // DefaultMemEntries is the in-memory tier bound when Options.MemEntries
@@ -125,17 +133,23 @@ type Stats struct {
 	PutErrors   uint64 `json:"put_errors"`  // disk writes that failed (triggers degradation)
 	Quarantined uint64 `json:"quarantined"` // corrupt blobs moved aside
 	Evictions   uint64 `json:"evictions"`   // memory-tier LRU evictions
+
+	LeasesAcquired uint64 `json:"leases_acquired,omitempty"` // cross-process leases won (incl. takeovers)
+	LeaseLosses    uint64 `json:"lease_losses,omitempty"`    // TryLock calls that found a live peer's lease
+	LeaseTakeovers uint64 `json:"lease_takeovers,omitempty"` // stale leases (crashed holder) taken over
 }
 
 // Store is the tiered result store. All methods are safe for concurrent
 // use. It implements sched.Tier.
 type Store struct {
-	dir    string // schema-namespaced root; "" when memory-only
-	qdir   string // quarantine directory under dir
-	schema string
-	codec  Codec
-	log    *slog.Logger
-	memCap int
+	dir      string // schema-namespaced root; "" when memory-only
+	qdir     string // quarantine directory under dir
+	leaseDir string // cross-process lease directory under dir
+	schema   string
+	codec    Codec
+	log      *slog.Logger
+	memCap   int
+	leaseTTL time.Duration
 
 	mu     sync.Mutex
 	mem    map[sched.Key]any
@@ -166,14 +180,19 @@ func Open(o Options) (*Store, error) {
 	case memCap < 0:
 		memCap = 0 // memory tier disabled
 	}
+	ttl := o.LeaseTimeout
+	if ttl <= 0 {
+		ttl = DefaultLeaseTimeout
+	}
 	s := &Store{
-		schema: o.Schema,
-		codec:  o.Codec,
-		log:    o.Logger,
-		memCap: memCap,
-		mem:    make(map[sched.Key]any),
-		lru:    list.New(),
-		lruPos: make(map[sched.Key]*list.Element),
+		schema:   o.Schema,
+		codec:    o.Codec,
+		log:      o.Logger,
+		memCap:   memCap,
+		leaseTTL: ttl,
+		mem:      make(map[sched.Key]any),
+		lru:      list.New(),
+		lruPos:   make(map[sched.Key]*list.Element),
 	}
 	s.st.Mode = "memory-only"
 	if o.Dir == "" {
@@ -188,6 +207,7 @@ func Open(o Options) (*Store, error) {
 	}
 	s.dir = dir
 	s.qdir = filepath.Join(dir, "quarantine")
+	s.leaseDir = filepath.Join(dir, "leases")
 	s.st.Dir = dir
 	s.st.Mode = "disk"
 	return s, nil
@@ -197,6 +217,9 @@ func Open(o Options) (*Store, error) {
 // the schema text for humans, sweeps crash leftovers, and counts blobs.
 func (s *Store) initDisk(dir string) error {
 	if err := os.MkdirAll(filepath.Join(dir, "quarantine"), 0o755); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "leases"), 0o755); err != nil {
 		return err
 	}
 	// Write-probe: a read-only volume fails here, not on the first Put.
@@ -494,6 +517,9 @@ func (s *Store) Readings() []metrics.Reading {
 		{Name: "store.put_errors_total", Kind: metrics.ReadCounter, Value: float64(st.PutErrors)},
 		{Name: "store.quarantined_total", Kind: metrics.ReadCounter, Value: float64(st.Quarantined)},
 		{Name: "store.evictions_total", Kind: metrics.ReadCounter, Value: float64(st.Evictions)},
+		{Name: "store.leases_acquired_total", Kind: metrics.ReadCounter, Value: float64(st.LeasesAcquired)},
+		{Name: "store.lease_losses_total", Kind: metrics.ReadCounter, Value: float64(st.LeaseLosses)},
+		{Name: "store.lease_takeovers_total", Kind: metrics.ReadCounter, Value: float64(st.LeaseTakeovers)},
 	}
 }
 

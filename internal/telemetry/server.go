@@ -179,11 +179,13 @@ type SchedSummary struct {
 	Misses           uint64  `json:"misses"`
 	Hits             uint64  `json:"hits"`
 	DiskHits         uint64  `json:"disk_hits"`
+	PeerHits         uint64  `json:"peer_hits"`
 	Joins            uint64  `json:"joins"`
 	Canceled         uint64  `json:"canceled"`
 	Errors           uint64  `json:"errors"`
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	SimWallSeconds   float64 `json:"sim_wall_seconds"`
+	LeaseWaitSeconds float64 `json:"lease_wait_seconds"`
 }
 
 func (sv *Server) runs(w http.ResponseWriter, _ *http.Request) {
@@ -203,11 +205,13 @@ func (sv *Server) runs(w http.ResponseWriter, _ *http.Request) {
 			Misses:           st.Misses,
 			Hits:             st.Hits,
 			DiskHits:         st.DiskHits,
+			PeerHits:         st.PeerHits,
 			Joins:            st.Joins,
 			Canceled:         st.Canceled,
 			Errors:           st.Errors,
 			QueueWaitSeconds: st.QueueWait.Seconds(),
 			SimWallSeconds:   st.SimWall.Seconds(),
+			LeaseWaitSeconds: st.LeaseWait.Seconds(),
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -303,6 +303,8 @@ func provenanceNote(o sched.Outcome) string {
 		return "served from the persistent disk tier; no simulation ran"
 	case sched.Joined:
 		return "joined an identical in-flight run; see that run's stream"
+	case sched.PeerHit:
+		return "served by a peer process sharing the store (lease wait); no simulation ran here"
 	}
 	return ""
 }
